@@ -1,0 +1,363 @@
+package drbw_test
+
+// The benchmark harness: one testing.B per table and figure of the paper,
+// backed by internal/experiments (the same code cmd/drbw-bench runs in
+// full). Benchmarks run the quick variants so `go test -bench=.` completes
+// in minutes; regenerate the full sweeps with `go run ./cmd/drbw-bench`.
+//
+// Reported custom metrics carry the experiment's headline number (accuracy,
+// speedup, CF, overhead) so a bench run doubles as a regression check on
+// the reproduced results.
+
+import (
+	"sync"
+	"testing"
+
+	"drbw/internal/alloc"
+	"drbw/internal/cache"
+	"drbw/internal/core"
+	"drbw/internal/dtree"
+	"drbw/internal/engine"
+	"drbw/internal/experiments"
+	"drbw/internal/memsim"
+	"drbw/internal/micro"
+	"drbw/internal/optimize"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+var (
+	ctxOnce sync.Once
+	ctx     *experiments.Context
+	ctxErr  error
+)
+
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	ctxOnce.Do(func() {
+		ctx, ctxErr = experiments.NewContext(true, 1)
+	})
+	if ctxErr != nil {
+		b.Fatal(ctxErr)
+	}
+	return ctx
+}
+
+// --- Experiment benchmarks: one per table/figure ---
+
+func BenchmarkTableI_FeatureSelection(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.TableI()
+	}
+}
+
+func BenchmarkTableII_TrainingCollection(b *testing.B) {
+	// Collects a 12-run slice of the Table II training set per iteration.
+	set := micro.TrainingSet()
+	var reduced []micro.Instance
+	for i := 0; i < len(set); i += 16 {
+		reduced = append(reduced, set[i])
+	}
+	m := topology.XeonE5_4650()
+	ecfg := engine.Config{Window: 8192, Warmup: 4096, ReservoirSize: 1024, Seed: 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		td, err := core.CollectTraining(m, ecfg, reduced)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(td.Runs) != len(reduced) {
+			b.Fatalf("collected %d runs", len(td.Runs))
+		}
+	}
+	b.ReportMetric(float64(len(reduced)), "runs/op")
+}
+
+func BenchmarkTableIII_CrossValidation(b *testing.B) {
+	c := benchContext(b)
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm, err := c.CrossValidate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = cm.Accuracy()
+	}
+	b.ReportMetric(100*acc, "cv-accuracy-%")
+}
+
+func BenchmarkFig3_TreeTraining(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, err := dtree.Train(c.Training.Dataset, dtree.Config{MaxDepth: 4, MinLeaf: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tree.Leaves() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+func BenchmarkTableIV_V_VI_Evaluation(b *testing.B) {
+	c := benchContext(b)
+	var correctness float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := c.Evaluate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, stats := c.TableVI(ev)
+		correctness = stats.Correctness
+		if stats.FNR > 0.05 {
+			b.Fatalf("false negative rate %.1f%%; the paper reports 0%%", 100*stats.FNR)
+		}
+	}
+	b.ReportMetric(100*correctness, "correctness-%")
+}
+
+func BenchmarkTableVII_ProfilingOverhead(b *testing.B) {
+	c := benchContext(b)
+	var avg float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, a, err := c.TableVII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = a
+	}
+	b.ReportMetric(100*avg, "avg-overhead-%")
+}
+
+func BenchmarkFig4_ContributionFractions(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5_AMGPhases(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6_IRSmk(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7_Streamcluster(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_LULESH(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fig8(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCaseStudySP(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SPStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCaseStudyBlackscholes(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.BlackscholesStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineStudy(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.BaselineStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLLCStudy(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LLCStudy(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md section 5) ---
+
+func BenchmarkAblationFeatures(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AblationFeatures(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTreeDepth(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AblationTreeDepth(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSamplingPeriod(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AblationSamplingPeriod(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationChannelGranularity(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AblationChannelGranularity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AblationPrefetcher(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLatencyModel(b *testing.B) {
+	c := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AblationLatencyModel(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkCacheHierarchyAccess(b *testing.B) {
+	m := topology.XeonE5_4650()
+	h, err := cache.NewHierarchy(m, cache.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(topology.CPUID(i&31), uint64(i)*64)
+	}
+}
+
+func BenchmarkHeapLookup(b *testing.B) {
+	as := memsim.NewAddressSpace(topology.XeonE5_4650())
+	h := alloc.NewHeap(as, 0x10000000)
+	var addrs []uint64
+	for i := 0; i < 256; i++ {
+		id, err := h.Malloc("o", 1<<20, alloc.Site{Func: "f"}, memsim.BindTo(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs = append(addrs, h.Object(id).Base+512)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.Lookup(addrs[i&255]); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+func BenchmarkEngineContendedRun(b *testing.B) {
+	m := topology.XeonE5_4650()
+	bld := micro.Sumv(micro.BigCentralized, 0)
+	cfg := program.Config{Threads: 32, Nodes: 4, Input: "default", Seed: 3}
+	ecfg := engine.Config{Window: 8192, Warmup: 2048, ReservoirSize: 512, Seed: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := bld.New(m, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(ecfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterleaveGroundTruthProbe(b *testing.B) {
+	m := topology.XeonE5_4650()
+	bld := micro.Sumv(micro.BigCentralized, 0)
+	cfg := program.Config{Threads: 16, Nodes: 2, Input: "default", Seed: 5}
+	ecfg := engine.Config{Window: 4096, Warmup: 1024, ReservoirSize: 256, Seed: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := optimize.ActualRMC(bld, m, cfg, ecfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamGeneration(b *testing.B) {
+	s := &trace.Seq{Base: 0x10000000, Len: 1 << 24, Elem: 8}
+	s.Reset(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Next(); !ok {
+			s.Reset(uint64(i))
+		}
+	}
+}

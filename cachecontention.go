@@ -1,0 +1,116 @@
+package drbw
+
+import (
+	"fmt"
+	"strings"
+
+	"drbw/internal/llc"
+)
+
+// CacheReport is the outcome of a shared-cache contention analysis.
+type CacheReport struct {
+	// Detected reports thrashing on at least one socket.
+	Detected bool
+	// Sockets lists the thrashing sockets ("N0").
+	Sockets []string
+	// Objects ranks data objects by their Contribution Fraction to the
+	// misses on the thrashing sockets.
+	Objects []ObjectCF
+}
+
+// String renders the report.
+func (r *CacheReport) String() string {
+	var b strings.Builder
+	if !r.Detected {
+		b.WriteString("no shared-cache contention detected\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "SHARED-CACHE CONTENTION on socket(s) %s\n", strings.Join(r.Sockets, ", "))
+	for _, o := range r.Objects {
+		fmt.Fprintf(&b, "  CF %5.1f%%  %-20s %s\n", 100*o.CF, o.Name, o.Site)
+	}
+	return b.String()
+}
+
+// TopObjects returns the n highest-CF object names.
+func (r *CacheReport) TopObjects(n int) []string {
+	var out []string
+	for i := 0; i < n && i < len(r.Objects); i++ {
+		out = append(out, r.Objects[i].Name)
+	}
+	return out
+}
+
+// CacheTool detects shared last-level-cache contention — the extension the
+// paper lists as future work (Section IX). It is trained like the
+// bandwidth detector, on working-set micro benchmarks whose per-socket
+// footprints either fit or overflow the shared L3, and classifies each
+// socket of a run from the same PEBS samples.
+//
+// Cache-contention analysis runs against a scaled LLC model (2 MB per
+// socket) so working-set sweeps fit in the simulation window; the
+// contention physics — co-running threads evicting each other under LRU —
+// are unchanged.
+type CacheTool struct {
+	det     *llc.Detector
+	machine Machine
+}
+
+// TrainCacheContention trains the shared-cache contention detector.
+func TrainCacheContention(cfg Config) (*CacheTool, error) {
+	m, err := cfg.Machine.build()
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	det, err := llc.Train(m, cfg.Quick, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &CacheTool{det: det, machine: cfg.Machine}, nil
+}
+
+// CrossValidate reports the detector's 5-fold accuracy on its training set.
+func (t *CacheTool) CrossValidate() (*Confusion, error) {
+	cm, err := t.det.CrossValidate(5)
+	if err != nil {
+		return nil, err
+	}
+	return newConfusion(cm), nil
+}
+
+// Tree renders the trained cache-contention decision tree.
+func (t *CacheTool) Tree() string { return t.det.Tree.String() }
+
+// AnalyzeWorkload classifies each socket of a custom workload run and
+// attributes the misses of thrashing sockets to data objects.
+func (t *CacheTool) AnalyzeWorkload(w WorkloadSpec, c Case) (*CacheReport, error) {
+	b, err := w.builder()
+	if err != nil {
+		return nil, err
+	}
+	m, err := t.machine.build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := t.det.Analyze(m, b, c.config())
+	if err != nil {
+		return nil, err
+	}
+	rep := &CacheReport{Detected: res.Detected()}
+	for _, n := range res.Contended {
+		rep.Sockets = append(rep.Sockets, fmt.Sprintf("N%d", int(n)))
+	}
+	if res.Report != nil {
+		for _, o := range res.Report.Overall {
+			rep.Objects = append(rep.Objects, ObjectCF{
+				Name: o.Object.Name, Site: o.Object.Site.String(),
+				CF: o.CF, Samples: o.Samples,
+			})
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,92 @@
+package drbw_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"drbw"
+)
+
+var (
+	cacheToolOnce sync.Once
+	cacheTool     *drbw.CacheTool
+	cacheToolErr  error
+)
+
+func sharedCacheTool(t *testing.T) *drbw.CacheTool {
+	t.Helper()
+	cacheToolOnce.Do(func() {
+		cacheTool, cacheToolErr = drbw.TrainCacheContention(drbw.Config{Quick: true, Seed: 4})
+	})
+	if cacheToolErr != nil {
+		t.Fatal(cacheToolErr)
+	}
+	return cacheTool
+}
+
+func TestCacheContentionDetection(t *testing.T) {
+	ct := sharedCacheTool(t)
+	cm, err := ct.CrossValidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Accuracy() < 0.85 {
+		t.Errorf("cache-contention CV accuracy %.2f", cm.Accuracy())
+	}
+	if !strings.Contains(ct.Tree(), "<=") {
+		t.Error("cache tree rendering empty")
+	}
+
+	// A workload whose per-thread tables overflow the socket's shared L3.
+	hot := drbw.WorkloadSpec{
+		Name: "overflow",
+		Arrays: []drbw.ArraySpec{
+			// 1 MB per thread, 8 MB per socket: 4x the scaled L3.
+			{Name: "table", MB: 16, Placement: drbw.Parallel, Pattern: drbw.Scan},
+		},
+		MLP: 4, WorkCycles: 2,
+	}
+	rep, err := ct.AnalyzeWorkload(hot, drbw.Case{Threads: 16, Nodes: 2, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected {
+		t.Fatal("overflowing workload not detected")
+	}
+	if len(rep.Sockets) == 0 {
+		t.Error("no sockets reported")
+	}
+	if len(rep.TopObjects(1)) == 0 {
+		t.Error("no objects blamed")
+	}
+	if !strings.Contains(rep.String(), "SHARED-CACHE CONTENTION") {
+		t.Errorf("report rendering:\n%s", rep)
+	}
+
+	// Tiny footprint: clean.
+	cold := drbw.WorkloadSpec{
+		Name: "resident",
+		Arrays: []drbw.ArraySpec{
+			{Name: "small", MB: 1, Placement: drbw.Parallel, Pattern: drbw.Scan},
+		},
+		MLP: 4, WorkCycles: 2,
+	}
+	repCold, err := ct.AnalyzeWorkload(cold, drbw.Case{Threads: 16, Nodes: 4, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repCold.Detected {
+		t.Errorf("cache-resident workload flagged: %s", repCold)
+	}
+	if !strings.Contains(repCold.String(), "no shared-cache contention") {
+		t.Errorf("clean rendering:\n%s", repCold)
+	}
+}
+
+func TestCacheContentionBadWorkload(t *testing.T) {
+	ct := sharedCacheTool(t)
+	if _, err := ct.AnalyzeWorkload(drbw.WorkloadSpec{}, drbw.Case{Threads: 8, Nodes: 2}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}

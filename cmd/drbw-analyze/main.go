@@ -1,0 +1,64 @@
+// drbw-analyze runs DR-BW's classification and diagnosis offline, on a
+// recorded profile: a sample CSV plus an allocation-table CSV (produced by
+// drbw-profile -record, TraceData.Save, or any tool emitting the same
+// schema — see internal/profiledata).
+//
+// Usage:
+//
+//	drbw-analyze -samples run.samples.csv -objects run.objects.csv
+//	             [-model model.json] [-quick]
+//
+// Without -model a classifier is trained first; with it, the saved model
+// from drbw-train -o is used and no simulation runs at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"drbw"
+)
+
+func main() {
+	samples := flag.String("samples", "", "sample CSV (required)")
+	objects := flag.String("objects", "", "allocation-table CSV (required)")
+	model := flag.String("model", "", "saved classifier from drbw-train -o")
+	quick := flag.Bool("quick", false, "quick training when no -model is given")
+	flag.Parse()
+
+	if *samples == "" || *objects == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var tool *drbw.Tool
+	var err error
+	if *model != "" {
+		tool, err = drbw.Load(*model)
+	} else {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "no -model given; training classifier (quick=%v)...\n", *quick)
+		tool, err = drbw.Train(drbw.Config{Quick: *quick})
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "trained in %.1fs\n", time.Since(start).Seconds())
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	td, err := drbw.LoadTrace(*samples, *objects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d samples, %d objects\n\n", len(td.Samples), len(td.Objects))
+
+	rep, err := tool.AnalyzeTrace(td)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+}

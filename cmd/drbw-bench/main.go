@@ -1,0 +1,130 @@
+// drbw-bench regenerates the paper's tables and figures on the simulated
+// platform.
+//
+// Usage:
+//
+//	drbw-bench [-quick] [-exp all|tableI|tableII|tableIII|fig3|tableIV|
+//	            tableV|tableVI|tableVII|fig4|fig5|fig6|fig7|fig8|sp|
+//	            blackscholes|llc|baselines|ablations]
+//
+// -quick reduces the training set, simulation window and sweeps (roughly
+// 10x faster, same qualitative shapes). The full run regenerates the
+// 512-case Table V sweep and takes several minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"drbw/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sweeps and training set")
+	exp := flag.String("exp", "all", "experiment to run (comma separated)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "training classifier (quick=%v)...\n", *quick)
+	ctx, err := experiments.NewContext(*quick, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "trained in %.1fs\n\n", time.Since(start).Seconds())
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[strings.ToLower(name)] }
+
+	section := func(body string, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(body)
+		fmt.Println(strings.Repeat("-", 78))
+	}
+
+	if sel("tableI") {
+		section(ctx.TableI(), nil)
+	}
+	if sel("tableII") {
+		section(ctx.TableII(), nil)
+	}
+	if sel("tableIII") {
+		body, _, err := ctx.TableIII()
+		section(body, err)
+	}
+	if sel("fig3") {
+		section(ctx.Fig3(), nil)
+	}
+
+	var ev *experiments.Evaluation
+	needEval := sel("tableIV") || sel("tableV") || sel("tableVI")
+	if needEval {
+		fmt.Fprintf(os.Stderr, "sweeping benchmark cases (this is the long part)...\n")
+		ev, err = ctx.Evaluate()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if sel("tableIV") {
+		body, err := ctx.TableIV(ev)
+		section(body, err)
+	}
+	if sel("tableV") {
+		section(ctx.TableV(ev), nil)
+	}
+	if sel("tableVI") {
+		body, _ := ctx.TableVI(ev)
+		section(body, nil)
+	}
+	if sel("tableVII") {
+		body, _, err := ctx.TableVII()
+		section(body, err)
+	}
+	if sel("fig4") {
+		section(ctx.Fig4())
+	}
+	if sel("fig5") {
+		section(ctx.Fig5())
+	}
+	if sel("fig6") {
+		section(ctx.Fig6())
+	}
+	if sel("fig7") {
+		section(ctx.Fig7())
+	}
+	if sel("fig8") {
+		section(ctx.Fig8())
+	}
+	if sel("sp") {
+		section(ctx.SPStudy())
+	}
+	if sel("blackscholes") {
+		section(ctx.BlackscholesStudy())
+	}
+	if sel("llc") {
+		section(ctx.LLCStudy())
+	}
+	if sel("baselines") {
+		section(ctx.BaselineStudy())
+	}
+	if sel("ablations") {
+		section(ctx.AblationFeatures())
+		section(ctx.AblationTreeDepth())
+		section(ctx.AblationSamplingPeriod())
+		section(ctx.AblationChannelGranularity())
+		section(ctx.AblationPrefetcher())
+		section(ctx.AblationLatencyModel())
+	}
+
+	fmt.Fprintf(os.Stderr, "total %.1fs\n", time.Since(start).Seconds())
+}

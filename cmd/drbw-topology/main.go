@@ -1,0 +1,56 @@
+// drbw-topology prints the simulated machine models: nodes, cores,
+// hardware threads, and the bandwidth of every directed channel (including
+// the asymmetric inter-socket links).
+//
+// Usage:
+//
+//	drbw-topology [-machine xeon-e5-4650|two-socket]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"drbw/internal/topology"
+)
+
+func main() {
+	machine := flag.String("machine", "xeon-e5-4650", "machine model")
+	flag.Parse()
+
+	var m *topology.Machine
+	switch *machine {
+	case "xeon-e5-4650":
+		m = topology.XeonE5_4650()
+	case "two-socket":
+		m = topology.TwoSocket()
+	case "opteron-6276":
+		m = topology.Opteron6276()
+	default:
+		log.Fatalf("unknown machine %q (xeon-e5-4650, two-socket, opteron-6276)", *machine)
+	}
+
+	fmt.Printf("%s\n", m.Name())
+	fmt.Printf("nodes: %d   cores: %d   hardware threads: %d\n",
+		m.Nodes(), m.NumCores(), m.NumCPUs())
+	lat := m.Latencies()
+	fmt.Printf("latencies (cycles): L1 %.0f  L2 %.0f  L3 %.0f  LFB %.0f  local DRAM %.0f  remote DRAM %.0f\n",
+		lat.L1, lat.L2, lat.L3, lat.LFB, lat.LocalDRAM, lat.RemoteDRAM)
+	fmt.Printf("line %dB  page %dB  huge page %dB\n\n",
+		m.LineSize(), m.PageSize(), m.HugePageSize())
+
+	fmt.Println("channels (bytes/cycle):")
+	for _, ch := range m.Channels() {
+		kind := "QPI link"
+		if ch.Local() {
+			kind = "memory controller"
+		}
+		fmt.Printf("  %-12s %6.1f   %s\n", ch, m.Bandwidth(ch), kind)
+	}
+
+	fmt.Println("\nnode -> hardware threads:")
+	for n := 0; n < m.Nodes(); n++ {
+		fmt.Printf("  N%d: %v\n", n, m.CPUsOfNode(topology.NodeID(n)))
+	}
+}

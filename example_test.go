@@ -1,0 +1,97 @@
+package drbw_test
+
+import (
+	"fmt"
+	"log"
+
+	"drbw"
+)
+
+// Train a classifier and analyze the paper's flagship contended benchmark.
+func Example() {
+	tool, err := drbw.Train(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := tool.Analyze("Streamcluster", drbw.Case{
+		Input: "native", Threads: 32, Nodes: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Contended() {
+		fmt.Println("contended channels:", rep.Channels)
+		fmt.Println("blame:", rep.TopObjects(2))
+	}
+}
+
+// Describe a custom program and let DR-BW find its contended array.
+func ExampleTool_AnalyzeWorkload() {
+	tool, err := drbw.Train(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := drbw.WorkloadSpec{
+		Name: "lookup-service",
+		Arrays: []drbw.ArraySpec{
+			{Name: "table", MB: 128, Placement: drbw.Master, Pattern: drbw.SharedRandom},
+			{Name: "output", MB: 32, Placement: drbw.Parallel, Pattern: drbw.Scan},
+		},
+		MLP: 6, WorkCycles: 2,
+	}
+	rep, err := tool.AnalyzeWorkload(w, drbw.Case{Threads: 32, Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.TopObjects(1)) // the master-placed table
+}
+
+// Measure the paper's replication fix on the object the diagnoser blames.
+func ExampleTool_Optimize() {
+	tool, err := drbw.Train(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := drbw.Case{Input: "native", Threads: 32, Nodes: 4}
+	rep, _ := tool.Analyze("Streamcluster", c)
+	cmp, err := tool.Optimize("Streamcluster", c, drbw.Replicate, rep.TopObjects(1)...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.1fx speedup, remote accesses -%0.f%%\n",
+		cmp.Speedup(), 100*cmp.RemoteReduction)
+}
+
+// Persist a trained classifier and reuse it without retraining.
+func ExampleLoad() {
+	tool, err := drbw.Train(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tool.Save("/tmp/drbw-model.json"); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := drbw.Load("/tmp/drbw-model.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(loaded.TreeFeatures()) // same tree, no retraining
+}
+
+// Record a profile once, analyze it offline any number of times.
+func ExampleTool_Record() {
+	tool, err := drbw.Train(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	td, err := tool.Record("Streamcluster", drbw.Case{Input: "native", Threads: 32, Nodes: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := td.Save("/tmp/run.samples.csv", "/tmp/run.objects.csv"); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, _ := drbw.LoadTrace("/tmp/run.samples.csv", "/tmp/run.objects.csv")
+	rep, _ := tool.AnalyzeTrace(reloaded)
+	fmt.Println(rep.Contended())
+}

@@ -1,0 +1,60 @@
+// AMG2006 case study (paper Section VIII-A, Figures 4(a) and 5): diagnose
+// the four operator arrays behind the contention, then compare co-locating
+// exactly those arrays against whole-program interleaving — per phase.
+// The paper's point: interleave helps the solve phase but hurts init and
+// setup; the targeted co-locate fix gets the solve speedup without the
+// collateral damage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drbw"
+)
+
+func main() {
+	tool, err := drbw.Train(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := drbw.Case{Input: "30x30x30", Threads: 64, Nodes: 4}
+	rep, err := tool.Analyze("AMG2006", c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+	fmt.Println()
+
+	// Fix the top four objects (Figure 4(a)) by co-location.
+	targets := rep.TopObjects(4)
+	fmt.Printf("co-locating %v vs interleaving everything:\n\n", targets)
+	fmt.Printf("%-8s %-12s %8s %8s %8s %8s\n", "config", "strategy", "init", "setup", "solve", "total")
+	phases := []string{"init", "setup", "solve"}
+	_ = phases
+	for _, cs := range []drbw.Case{
+		{Input: "30x30x30", Threads: 16, Nodes: 4},
+		{Input: "30x30x30", Threads: 32, Nodes: 4},
+		{Input: "30x30x30", Threads: 64, Nodes: 4},
+	} {
+		colo, err := tool.Optimize("AMG2006", cs, drbw.Colocate, targets...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inter, err := tool.Optimize("AMG2006", cs, drbw.Interleave)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printRow(cs, "co-locate", colo)
+		printRow(cs, "interleave", inter)
+	}
+}
+
+func printRow(cs drbw.Case, strategy string, cmp drbw.Comparison) {
+	fmt.Printf("T%d-N%d %-12s", cs.Threads, cs.Nodes, strategy)
+	for _, s := range cmp.PhaseSpeedups {
+		fmt.Printf(" %7.2fx", s)
+	}
+	fmt.Printf(" %7.2fx\n", cmp.Speedup())
+}

@@ -1,0 +1,49 @@
+// Cache-contention extension (the paper's Section IX future work): train
+// the shared-LLC contention detector and use it to find working sets that
+// evict each other — the resource DR-BW's bandwidth classifier deliberately
+// ignores.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drbw"
+)
+
+func main() {
+	fmt.Println("training the shared-cache contention detector...")
+	ct, err := drbw.TrainCacheContention(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := ct.CrossValidate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cross-validation accuracy: %.1f%%\n\n", 100*cm.Accuracy())
+	fmt.Println("learned tree:")
+	fmt.Print(ct.Tree())
+	fmt.Println()
+
+	// A service whose per-thread state collectively overflows the shared
+	// cache: each thread is fine alone; together they thrash.
+	w := drbw.WorkloadSpec{
+		Name: "session-cache",
+		Arrays: []drbw.ArraySpec{
+			{Name: "sessions", MB: 24, Placement: drbw.Parallel, Pattern: drbw.Scan},
+			{Name: "config", MB: 1, Placement: drbw.Parallel, Pattern: drbw.SharedRandom},
+		},
+		MLP: 4, WorkCycles: 3,
+	}
+	for _, c := range []drbw.Case{
+		{Threads: 8, Nodes: 4},  // 2 threads per socket: fits
+		{Threads: 32, Nodes: 2}, // 16 per socket: thrashes
+	} {
+		rep, err := ct.AnalyzeWorkload(w, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("T%d-N%d: %s", c.Threads, c.Nodes, rep)
+	}
+}

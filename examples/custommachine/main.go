@@ -1,0 +1,60 @@
+// Custom machine: describe your own NUMA box with drbw.MachineSpec (or a
+// JSON file via drbw.LoadMachineSpec), train DR-BW for it, and analyze a
+// workload — the learned thresholds reflect that machine's link bandwidths
+// and latencies, not the paper's Xeon.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drbw"
+)
+
+func main() {
+	// A 2-socket EPYC-flavoured box: wider local controllers, one
+	// asymmetric return link.
+	spec := drbw.MachineSpec{
+		Name:         "epyc-like 2-socket",
+		Nodes:        2,
+		CoresPerNode: 16,
+		LocalBW:      20, // bytes/cycle (~46 GB/s at 2.3 GHz)
+		RemoteBW:     6,  // inter-socket
+		LinkOverrides: map[string]float64{
+			"1->0": 5, // the return path is narrower
+		},
+		LocalDRAMLatency:  200,
+		RemoteDRAMLatency: 330,
+	}
+
+	fmt.Printf("training DR-BW for %q...\n", spec.Name)
+	tool, err := drbw.TrainOn(spec, drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d runs (configurations the machine cannot run were skipped)\n\n",
+		tool.TrainingRuns())
+
+	w := drbw.WorkloadSpec{
+		Name: "ingest",
+		Arrays: []drbw.ArraySpec{
+			{Name: "staging", MB: 96, Placement: drbw.Master, Pattern: drbw.Scan, Weight: 2},
+			{Name: "index", MB: 2, Placement: drbw.Parallel, Pattern: drbw.SharedRandom},
+		},
+		MLP: 8, WorkCycles: 1,
+	}
+	c := drbw.Case{Threads: 32, Nodes: 2}
+	rep, err := tool.AnalyzeWorkload(w, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+
+	if rep.Contended() {
+		cmp, err := tool.OptimizeWorkload(w, c, drbw.Colocate, rep.TopObjects(1)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nco-locating %v on this machine: %.2fx\n", rep.TopObjects(1), cmp.Speedup())
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: train DR-BW's classifier and analyze one benchmark case
+// end-to-end — detection, contended channels, and the data objects to
+// blame.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drbw"
+)
+
+func main() {
+	fmt.Println("training DR-BW on the micro-benchmark suite (quick mode)...")
+	tool, err := drbw.Train(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d runs; decision tree splits on Table I features %v\n\n",
+		tool.TrainingRuns(), tool.TreeFeatures())
+
+	// Streamcluster with the native input on 32 threads across all four
+	// sockets: the paper's flagship contention case.
+	rep, err := tool.Analyze("Streamcluster", drbw.Case{
+		Input: "native", Threads: 32, Nodes: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+
+	if rep.Contended() {
+		// Fix the top-CF object the way the paper does (replication) and
+		// measure the gain.
+		cmp, err := tool.Optimize("Streamcluster",
+			drbw.Case{Input: "native", Threads: 32, Nodes: 4},
+			drbw.Replicate, rep.TopObjects(1)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nreplicating %v: %.2fx speedup, remote accesses -%.0f%%, DRAM latency -%.0f%%\n",
+			rep.TopObjects(1), cmp.Speedup(),
+			100*cmp.RemoteReduction, 100*cmp.LatencyReduction)
+	}
+}

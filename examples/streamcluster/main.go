@@ -1,0 +1,46 @@
+// Streamcluster case study (paper Section VIII-C, Figures 4(b) and 7):
+// detect the remote-bandwidth contention caused by the shared `block`
+// array, diagnose it, and compare the replicate fix against whole-program
+// interleaving across execution configurations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drbw"
+)
+
+func main() {
+	tool, err := drbw.Train(drbw.Config{Quick: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Diagnose one contended case in detail.
+	c := drbw.Case{Input: "native", Threads: 64, Nodes: 4}
+	rep, err := tool.Analyze("Streamcluster", c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+	fmt.Println()
+
+	// Figure 7: replicate vs interleave across Tt-Nn configurations. The
+	// paper's observation: with many nodes both help similarly; with few
+	// nodes and threads, replicate wins because interleaving adds remote
+	// accesses.
+	fmt.Printf("%-8s %6s %12s %12s\n", "config", "input", "interleave", "replicate")
+	for _, cs := range drbw.StandardCases("native") {
+		inter, err := tool.Optimize("Streamcluster", cs, drbw.Interleave)
+		if err != nil {
+			log.Fatal(err)
+		}
+		replicate, err := tool.Optimize("Streamcluster", cs, drbw.Replicate, "block", "point.p")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("T%d-N%d %8s %11.2fx %11.2fx\n",
+			cs.Threads, cs.Nodes, cs.Input, inter.Speedup(), replicate.Speedup())
+	}
+}

@@ -1,0 +1,57 @@
+// Training walkthrough: collect the paper's Table II training set, inspect
+// the learned decision tree (Figure 3), and validate it with stratified
+// 10-fold cross validation (Table III).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"drbw"
+)
+
+func main() {
+	full := flag.Bool("full", false, "collect the full 192-run training set (slower)")
+	flag.Parse()
+
+	cfg := drbw.Config{Quick: !*full}
+	fmt.Printf("collecting training runs (quick=%v)...\n", cfg.Quick)
+	tool, err := drbw.Train(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nTable II — training set:")
+	fmt.Printf("%-10s %6s %6s\n", "program", "good", "rmc")
+	total := 0
+	for _, prog := range []string{"sumv", "dotv", "countv", "bandit"} {
+		s := tool.TrainingSummary()[prog]
+		fmt.Printf("%-10s %6d %6d\n", prog, s["good"], s["rmc"])
+		total += s["good"] + s["rmc"]
+	}
+	fmt.Printf("%-10s %13d\n", "total", total)
+
+	fmt.Println("\nFigure 3 — the learned decision tree:")
+	fmt.Print(tool.Tree())
+	fmt.Print("splits on Table I features: ")
+	for i, f := range tool.TreeFeatures() {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("#%d (%s)", f, drbw.FeatureName(f))
+	}
+	fmt.Println()
+
+	fmt.Println("\nTable III — stratified 10-fold cross validation:")
+	cm, err := tool.CrossValidate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cm)
+
+	fmt.Println("\nTable I — features kept by the selection filter:")
+	for _, name := range tool.SelectedCandidates() {
+		fmt.Println("  " + name)
+	}
+}

@@ -1,0 +1,3 @@
+module drbw
+
+go 1.22

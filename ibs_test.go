@@ -1,0 +1,67 @@
+package drbw_test
+
+import (
+	"testing"
+
+	"drbw"
+)
+
+// TestIBSOnOpteron trains with AMD IBS-op sampling semantics on the
+// Opteron preset — the paper's named future-work platform — and verifies
+// the pipeline transfers: detection, diagnosis and the fix all work.
+func TestIBSOnOpteron(t *testing.T) {
+	tool, err := drbw.Train(drbw.Config{
+		Machine:  drbw.Opteron6276,
+		Sampling: "ibs",
+		Quick:    true,
+		Window:   4096, Warmup: 2048,
+		Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Opteron has 32 hardware threads (no SMT), so T64 configurations
+	// were skipped; both classes must survive the filter.
+	sum := tool.TrainingSummary()
+	good, rmc := 0, 0
+	for _, s := range sum {
+		good += s["good"]
+		rmc += s["rmc"]
+	}
+	if good == 0 || rmc == 0 {
+		t.Fatalf("training lost a class: %d good / %d rmc", good, rmc)
+	}
+
+	w := drbw.WorkloadSpec{
+		Name: "hot",
+		Arrays: []drbw.ArraySpec{
+			{Name: "shared", MB: 96, Placement: drbw.Master, Pattern: drbw.SharedRandom, Weight: 3},
+			{Name: "mine", MB: 16, Placement: drbw.Parallel, Pattern: drbw.Scan},
+		},
+		MLP: 6, WorkCycles: 1,
+	}
+	c := drbw.Case{Threads: 16, Nodes: 4, Seed: 13}
+	rep, err := tool.AnalyzeWorkload(w, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Contended() {
+		t.Fatal("IBS-sampled contention not detected on the Opteron")
+	}
+	if top := rep.TopObjects(1); len(top) == 0 || top[0] != "shared" {
+		t.Errorf("IBS diagnosis top = %v, want shared", top)
+	}
+	cmp, err := tool.OptimizeWorkload(w, c, drbw.Replicate, "shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup() < 1.2 {
+		t.Errorf("replicate on the Opteron gained only %.2fx", cmp.Speedup())
+	}
+}
+
+func TestUnknownSamplingRejected(t *testing.T) {
+	if _, err := drbw.Train(drbw.Config{Sampling: "oprofile"}); err == nil {
+		t.Error("unknown sampling flavor accepted")
+	}
+}

@@ -1,0 +1,297 @@
+// Package alloc simulates the heap of a profiled program together with the
+// allocation-site table DR-BW's profiler maintains.
+//
+// The paper's profiler interposes on the malloc family (malloc, calloc,
+// realloc) and records, for each allocation, the instruction pointer of the
+// call site and the allocated address range. When a PEBS sample fires, the
+// sampled effective address is looked up in that range table to attribute
+// the access to a data object. Heap.Lookup is that query.
+//
+// The heap is a bump allocator over a simulated address space: addresses are
+// never recycled, which keeps attribution unambiguous even for short-lived
+// objects (a real implementation handles recycling by generation-tagging;
+// the simulation sidesteps it without changing observable behaviour).
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"drbw/internal/memsim"
+	"drbw/internal/topology"
+)
+
+// ObjectID identifies one heap allocation.
+type ObjectID int
+
+// NoObject is returned when an address does not fall in any live object.
+const NoObject ObjectID = -1
+
+// Site describes an allocation call site — what the real profiler derives
+// from the instruction pointer via the symbol table.
+type Site struct {
+	Func string // allocating function, e.g. "hypre_CSRMatrixInitialize"
+	File string // source file
+	Line int    // source line
+}
+
+// String renders the site as "func (file:line)".
+func (s Site) String() string {
+	if s.File == "" {
+		return s.Func
+	}
+	return fmt.Sprintf("%s (%s:%d)", s.Func, s.File, s.Line)
+}
+
+// Kind records which allocator entry point created an object.
+type Kind int
+
+// Allocation entry points intercepted by the profiler.
+const (
+	Malloc Kind = iota
+	Calloc
+	Realloc
+)
+
+// String names the allocation kind.
+func (k Kind) String() string {
+	switch k {
+	case Malloc:
+		return "malloc"
+	case Calloc:
+		return "calloc"
+	case Realloc:
+		return "realloc"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Object is one live heap allocation.
+type Object struct {
+	ID    ObjectID
+	Name  string // programmer-meaningful name, e.g. "RAP_diag_j"
+	Site  Site
+	Kind  Kind
+	Base  uint64
+	Size  uint64
+	Huge  bool
+	Freed bool
+}
+
+// Contains reports whether addr falls inside the object.
+func (o Object) Contains(addr uint64) bool {
+	return !o.Freed && addr >= o.Base && addr < o.Base+o.Size
+}
+
+// Heap is the simulated heap plus the profiler's range table.
+type Heap struct {
+	as   *memsim.AddressSpace
+	next uint64
+	objs []Object // indexed by ObjectID; Base strictly increasing
+}
+
+// NewHeap creates a heap whose first allocation starts at base (rounded up
+// to the address space's page size internally as needed).
+func NewHeap(as *memsim.AddressSpace, base uint64) *Heap {
+	return &Heap{as: as, next: base}
+}
+
+// Space returns the underlying address space.
+func (h *Heap) Space() *memsim.AddressSpace { return h.as }
+
+func (h *Heap) align(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+func (h *Heap) alloc(name string, size uint64, site Site, kind Kind, pol memsim.Policy, huge bool) (ObjectID, error) {
+	if size == 0 {
+		return NoObject, fmt.Errorf("alloc: zero-size allocation for %q at %s", name, site)
+	}
+	pageSize := uint64(h.as.Machine().PageSize())
+	if huge {
+		pageSize = uint64(h.as.Machine().HugePageSize())
+	}
+	base := h.align(h.next, pageSize)
+	if err := h.as.Map(base, size, pol, huge); err != nil {
+		return NoObject, fmt.Errorf("alloc: mapping %q: %w", name, err)
+	}
+	mapped := h.align(size, pageSize)
+	h.next = base + mapped
+	id := ObjectID(len(h.objs))
+	h.objs = append(h.objs, Object{
+		ID: id, Name: name, Site: site, Kind: kind,
+		Base: base, Size: size, Huge: huge,
+	})
+	return id, nil
+}
+
+// Malloc allocates size bytes attributed to site, placing its pages with pol.
+func (h *Heap) Malloc(name string, size uint64, site Site, pol memsim.Policy) (ObjectID, error) {
+	return h.alloc(name, size, site, Malloc, pol, false)
+}
+
+// Calloc allocates count*elem zeroed bytes. Because calloc touches the whole
+// region at allocation time in a real program, first-touch placement is
+// resolved immediately on the calling thread's node.
+func (h *Heap) Calloc(name string, count, elem uint64, site Site, pol memsim.Policy, caller topology.NodeID) (ObjectID, error) {
+	if count != 0 && elem != 0 && count > ^uint64(0)/elem {
+		return NoObject, fmt.Errorf("alloc: calloc overflow %d*%d for %q", count, elem, name)
+	}
+	id, err := h.alloc(name, count*elem, site, Calloc, pol, false)
+	if err != nil {
+		return NoObject, err
+	}
+	o := h.objs[id]
+	for addr := o.Base; addr < o.Base+o.Size; addr += uint64(h.as.Machine().PageSize()) {
+		h.as.Touch(addr, caller)
+	}
+	return id, nil
+}
+
+// MallocHuge allocates size bytes backed by huge pages (the bandit micro
+// benchmark needs huge pages for a deterministic offset→cache-set mapping).
+func (h *Heap) MallocHuge(name string, size uint64, site Site, pol memsim.Policy) (ObjectID, error) {
+	return h.alloc(name, size, site, Malloc, pol, true)
+}
+
+// Realloc grows or shrinks obj to newSize, keeping its site association the
+// way the profiler does (the range table entry is replaced). The returned
+// object may have a new base address.
+func (h *Heap) Realloc(obj ObjectID, newSize uint64, pol memsim.Policy) (ObjectID, error) {
+	o, err := h.object(obj)
+	if err != nil {
+		return NoObject, err
+	}
+	if o.Freed {
+		return NoObject, fmt.Errorf("alloc: realloc of freed object %d (%s)", obj, o.Name)
+	}
+	if err := h.Free(obj); err != nil {
+		return NoObject, err
+	}
+	return h.alloc(o.Name, newSize, o.Site, Realloc, pol, o.Huge)
+}
+
+// Free releases obj. Its range table entry is retired so later samples no
+// longer attribute to it.
+func (h *Heap) Free(obj ObjectID) error {
+	o, err := h.object(obj)
+	if err != nil {
+		return err
+	}
+	if o.Freed {
+		return fmt.Errorf("alloc: double free of object %d (%s)", obj, o.Name)
+	}
+	if err := h.as.Unmap(o.Base); err != nil {
+		return err
+	}
+	h.objs[obj].Freed = true
+	return nil
+}
+
+func (h *Heap) object(id ObjectID) (Object, error) {
+	if id < 0 || int(id) >= len(h.objs) {
+		return Object{}, fmt.Errorf("alloc: unknown object %d", id)
+	}
+	return h.objs[id], nil
+}
+
+// Object returns the descriptor of id. It panics on an ID that was never
+// returned by this heap, which always indicates a caller bug.
+func (h *Heap) Object(id ObjectID) Object {
+	o, err := h.object(id)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Objects returns all allocations ever made, live and freed, in allocation
+// order.
+func (h *Heap) Objects() []Object {
+	out := make([]Object, len(h.objs))
+	copy(out, h.objs)
+	return out
+}
+
+// Live returns the currently live allocations in allocation order.
+func (h *Heap) Live() []Object {
+	var out []Object
+	for _, o := range h.objs {
+		if !o.Freed {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Lookup attributes addr to a live data object — the query the profiler
+// answers for every PEBS sample. It runs in O(log n) over the range table.
+func (h *Heap) Lookup(addr uint64) (ObjectID, bool) {
+	// Bases are strictly increasing in allocation order, so binary search
+	// over the full table and check liveness afterwards.
+	idx := sort.Search(len(h.objs), func(i int) bool { return h.objs[i].Base > addr })
+	if idx == 0 {
+		return NoObject, false
+	}
+	o := h.objs[idx-1]
+	if !o.Contains(addr) {
+		return NoObject, false
+	}
+	return o.ID, true
+}
+
+// Addr translates an (object, byte offset) pair into a simulated virtual
+// address; workload generators use it to emit accesses.
+func (h *Heap) Addr(obj ObjectID, offset uint64) uint64 {
+	o := h.Object(obj)
+	if offset >= o.Size {
+		panic(fmt.Sprintf("alloc: offset %d out of range for object %s (size %d)", offset, o.Name, o.Size))
+	}
+	return o.Base + offset
+}
+
+// SetPolicy migrates the pages of obj to a new placement, the primitive the
+// optimizer uses for interleave / co-locate / replicate fixes.
+func (h *Heap) SetPolicy(obj ObjectID, pol memsim.Policy) error {
+	o, err := h.object(obj)
+	if err != nil {
+		return err
+	}
+	if o.Freed {
+		return fmt.Errorf("alloc: SetPolicy on freed object %d (%s)", obj, o.Name)
+	}
+	return h.as.SetPolicy(o.Base, pol)
+}
+
+// TouchAll resolves first-touch placement for every page of obj as if node
+// had initialized it serially (the common "master thread memsets the array"
+// pattern that causes contention in the first place).
+func (h *Heap) TouchAll(obj ObjectID, node topology.NodeID) {
+	o := h.Object(obj)
+	step := uint64(h.as.Machine().PageSize())
+	if o.Huge {
+		step = uint64(h.as.Machine().HugePageSize())
+	}
+	for addr := o.Base; addr < o.Base+o.Size; addr += step {
+		h.as.Touch(addr, node)
+	}
+}
+
+// TouchPartitioned resolves first-touch placement as if the object were
+// initialized by a parallel loop with a blocked partition over nodes — the
+// co-located initialization the paper's fixes introduce.
+func (h *Heap) TouchPartitioned(obj ObjectID, nodes []topology.NodeID) {
+	if len(nodes) == 0 {
+		return
+	}
+	o := h.Object(obj)
+	step := uint64(h.as.Machine().PageSize())
+	if o.Huge {
+		step = uint64(h.as.Machine().HugePageSize())
+	}
+	pages := (o.Size + step - 1) / step
+	per := (pages + uint64(len(nodes)) - 1) / uint64(len(nodes))
+	for p := uint64(0); p < pages; p++ {
+		n := nodes[min(int(p/per), len(nodes)-1)]
+		h.as.Touch(o.Base+p*step, n)
+	}
+}

@@ -1,0 +1,267 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drbw/internal/memsim"
+	"drbw/internal/topology"
+)
+
+func newHeap(t *testing.T) *Heap {
+	t.Helper()
+	as := memsim.NewAddressSpace(topology.Uniform(4, 4))
+	return NewHeap(as, 0x10000000)
+}
+
+var testSite = Site{Func: "main", File: "main.c", Line: 42}
+
+func TestMallocAndLookup(t *testing.T) {
+	h := newHeap(t)
+	a, err := h.Malloc("a", 1<<20, testSite, memsim.BindTo(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Malloc("b", 4096, testSite, memsim.BindTo(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, ob := h.Object(a), h.Object(b)
+	if oa.Base+oa.Size > ob.Base {
+		t.Fatalf("objects overlap: a=[%#x,%#x) b starts %#x", oa.Base, oa.Base+oa.Size, ob.Base)
+	}
+	if id, ok := h.Lookup(oa.Base); !ok || id != a {
+		t.Errorf("Lookup(base of a) = %d,%v", id, ok)
+	}
+	if id, ok := h.Lookup(oa.Base + oa.Size - 1); !ok || id != a {
+		t.Errorf("Lookup(last byte of a) = %d,%v", id, ok)
+	}
+	if id, ok := h.Lookup(ob.Base + 100); !ok || id != b {
+		t.Errorf("Lookup(inside b) = %d,%v", id, ok)
+	}
+	if _, ok := h.Lookup(0x1000); ok {
+		t.Error("Lookup below heap should miss")
+	}
+	if _, ok := h.Lookup(ob.Base + ob.Size); ok {
+		// One past the end of the last object: either unmapped or padding,
+		// but never attributed to b.
+		t.Error("Lookup past object end should miss")
+	}
+}
+
+func TestLookupInPagePadding(t *testing.T) {
+	h := newHeap(t)
+	// 100-byte object occupies a full page; addresses in the padding are not
+	// attributed to it.
+	a, err := h.Malloc("small", 100, testSite, memsim.BindTo(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := h.Object(a)
+	if _, ok := h.Lookup(o.Base + 100); ok {
+		t.Error("address in page padding attributed to object")
+	}
+}
+
+func TestZeroSizeRejected(t *testing.T) {
+	h := newHeap(t)
+	if _, err := h.Malloc("z", 0, testSite, memsim.BindTo(0)); err == nil {
+		t.Error("zero-size malloc accepted")
+	}
+}
+
+func TestFreeRetiresRange(t *testing.T) {
+	h := newHeap(t)
+	a, err := h.Malloc("a", 4096, testSite, memsim.BindTo(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := h.Object(a).Base
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.Lookup(base); ok {
+		t.Error("freed object still attributed")
+	}
+	if err := h.Free(a); err == nil {
+		t.Error("double free accepted")
+	}
+	if len(h.Live()) != 0 {
+		t.Errorf("Live() = %d objects after free", len(h.Live()))
+	}
+	if len(h.Objects()) != 1 {
+		t.Errorf("Objects() should retain history, got %d", len(h.Objects()))
+	}
+}
+
+func TestCallocTouchesPages(t *testing.T) {
+	h := newHeap(t)
+	a, err := h.Calloc("c", 16, 4096, testSite, memsim.FirstTouchPolicy(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := h.Object(a)
+	if o.Kind != Calloc {
+		t.Errorf("kind = %v, want calloc", o.Kind)
+	}
+	for off := uint64(0); off < o.Size; off += 4096 {
+		if n := h.Space().NodeOf(o.Base + off); n != 2 {
+			t.Fatalf("calloc page +%#x on node %d, want 2 (first touch by caller)", off, n)
+		}
+	}
+}
+
+func TestCallocOverflow(t *testing.T) {
+	h := newHeap(t)
+	if _, err := h.Calloc("big", ^uint64(0), 2, testSite, memsim.BindTo(0), 0); err == nil {
+		t.Error("calloc overflow accepted")
+	}
+}
+
+func TestReallocPreservesSite(t *testing.T) {
+	h := newHeap(t)
+	a, err := h.Malloc("grow", 4096, testSite, memsim.BindTo(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Realloc(a, 8192, memsim.BindTo(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := h.Object(b)
+	if ob.Site != testSite || ob.Name != "grow" {
+		t.Errorf("realloc lost identity: %+v", ob)
+	}
+	if ob.Kind != Realloc {
+		t.Errorf("kind = %v, want realloc", ob.Kind)
+	}
+	if ob.Size != 8192 {
+		t.Errorf("size = %d, want 8192", ob.Size)
+	}
+	if h.Object(a).Freed != true {
+		t.Error("original object not freed by realloc")
+	}
+	if _, err := h.Realloc(a, 100, memsim.BindTo(0)); err == nil {
+		t.Error("realloc of freed object accepted")
+	}
+}
+
+func TestAddrTranslation(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Malloc("arr", 1024, testSite, memsim.BindTo(0))
+	o := h.Object(a)
+	if got := h.Addr(a, 0); got != o.Base {
+		t.Errorf("Addr(0) = %#x, want %#x", got, o.Base)
+	}
+	if got := h.Addr(a, 1023); got != o.Base+1023 {
+		t.Errorf("Addr(1023) = %#x", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Addr did not panic")
+		}
+	}()
+	h.Addr(a, 1024)
+}
+
+func TestMallocHuge(t *testing.T) {
+	h := newHeap(t)
+	a, err := h.MallocHuge("pages", 4<<20, testSite, memsim.BindTo(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := h.Object(a)
+	if !o.Huge {
+		t.Error("object not marked huge")
+	}
+	hp := uint64(h.Space().Machine().HugePageSize())
+	if o.Base%hp != 0 {
+		t.Errorf("huge allocation base %#x not huge-page aligned", o.Base)
+	}
+}
+
+func TestTouchAllAndPartitioned(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Malloc("ft", 16*4096, testSite, memsim.FirstTouchPolicy())
+	h.TouchAll(a, 1)
+	o := h.Object(a)
+	for off := uint64(0); off < o.Size; off += 4096 {
+		if n := h.Space().NodeOf(o.Base + off); n != 1 {
+			t.Fatalf("TouchAll page +%#x on node %d", off, n)
+		}
+	}
+
+	b, _ := h.Malloc("part", 16*4096, testSite, memsim.FirstTouchPolicy())
+	h.TouchPartitioned(b, []topology.NodeID{0, 1, 2, 3})
+	ob := h.Object(b)
+	counts := map[topology.NodeID]int{}
+	for off := uint64(0); off < ob.Size; off += 4096 {
+		counts[h.Space().NodeOf(ob.Base+off)]++
+	}
+	for n := topology.NodeID(0); n < 4; n++ {
+		if counts[n] != 4 {
+			t.Fatalf("partitioned touch gave node %d %d pages: %v", n, counts[n], counts)
+		}
+	}
+	// Empty node set is a no-op, not a panic.
+	h.TouchPartitioned(b, nil)
+}
+
+func TestSetPolicyOnFreed(t *testing.T) {
+	h := newHeap(t)
+	a, _ := h.Malloc("a", 4096, testSite, memsim.BindTo(0))
+	if err := h.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetPolicy(a, memsim.InterleaveAll()); err == nil {
+		t.Error("SetPolicy on freed object accepted")
+	}
+}
+
+func TestSiteAndKindStrings(t *testing.T) {
+	if got := testSite.String(); got != "main (main.c:42)" {
+		t.Errorf("Site.String() = %q", got)
+	}
+	if got := (Site{Func: "f"}).String(); got != "f" {
+		t.Errorf("file-less Site.String() = %q", got)
+	}
+	for k, want := range map[Kind]string{Malloc: "malloc", Calloc: "calloc", Realloc: "realloc", Kind(7): "Kind(7)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+// Property: every byte of every live object attributes back to that object,
+// for arbitrary allocation sequences.
+func TestLookupTotalityProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		as := memsim.NewAddressSpace(topology.Uniform(2, 2))
+		h := NewHeap(as, 0x10000000)
+		var ids []ObjectID
+		for i, s := range sizes {
+			if i >= 12 {
+				break
+			}
+			size := uint64(s%5000) + 1
+			id, err := h.Malloc("o", size, testSite, memsim.BindTo(0))
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			o := h.Object(id)
+			for _, off := range []uint64{0, o.Size / 2, o.Size - 1} {
+				got, ok := h.Lookup(o.Base + off)
+				if !ok || got != id {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,321 @@
+// Package autoplace implements the heuristic page-placement baseline the
+// paper positions DR-BW against (Section II-B): traffic-management systems
+// in the style of Carrefour (Dashti et al., ASPLOS'13) that watch memory
+// accesses and re-place data by fixed rules, without a contention model:
+//
+//   - data used (almost) exclusively from one node migrates to that node;
+//   - read-shared data replicates;
+//   - write-shared data interleaves.
+//
+// Two granularities are provided. Object granularity applies the rules to
+// whole allocations (what the sample→range table supports directly). Page
+// granularity is closer to the original systems — but at DR-BW's sampling
+// rate (1/2000) most pages receive no samples at all, so page decisions
+// cover only a sliver of the footprint. That coverage gap, and object
+// rules misfiring on arrays that are block-partitioned *within* (every
+// node touches the object, each page belongs to one node), are exactly the
+// failure modes the paper's data-object + classifier design avoids.
+package autoplace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drbw/internal/alloc"
+	"drbw/internal/memsim"
+	"drbw/internal/pebs"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+)
+
+// Rule names the decision taken for one object or page.
+type Rule int
+
+// Placement rules.
+const (
+	Keep Rule = iota
+	Migrate
+	Replicate
+	Interleave
+)
+
+// String names the rule.
+func (r Rule) String() string {
+	switch r {
+	case Keep:
+		return "keep"
+	case Migrate:
+		return "migrate"
+	case Replicate:
+		return "replicate"
+	case Interleave:
+		return "interleave"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// Config tunes the heuristic thresholds (defaults follow the published
+// systems' spirit: act only on observably remote, clearly classified data).
+type Config struct {
+	// MinSamples is the minimum observed samples before a decision is made.
+	// <= 0 uses 16 for objects and 1 for pages.
+	MinSamples int
+	// RemoteFraction is the minimum share of remote samples that makes data
+	// a candidate at all. <= 0 uses 0.3.
+	RemoteFraction float64
+	// DominantShare is the single-node access share above which data
+	// migrates to that node. <= 0 uses 0.8.
+	DominantShare float64
+	// WriteFraction is the maximum write share for replication. < 0
+	// disables replication; 0 uses 0.05.
+	WriteFraction float64
+}
+
+func (c Config) withDefaults(page bool) Config {
+	if c.MinSamples <= 0 {
+		if page {
+			c.MinSamples = 1
+		} else {
+			c.MinSamples = 16
+		}
+	}
+	if c.RemoteFraction <= 0 {
+		c.RemoteFraction = 0.3
+	}
+	if c.DominantShare <= 0 {
+		c.DominantShare = 0.8
+	}
+	if c.WriteFraction == 0 {
+		c.WriteFraction = 0.05
+	}
+	return c
+}
+
+// ObjectAction is one object-granularity decision.
+type ObjectAction struct {
+	Object alloc.Object
+	Rule   Rule
+	Target topology.NodeID // for Migrate
+	// Samples and RemoteFraction record the evidence.
+	Samples        int
+	RemoteFraction float64
+}
+
+// access tallies per-object or per-page observations.
+type access struct {
+	total, remote, writes int
+	byNode                map[topology.NodeID]int
+}
+
+func tally(a *access, s pebs.Sample) {
+	a.total++
+	if s.SrcNode != s.HomeNode {
+		a.remote++
+	}
+	if s.Write {
+		a.writes++
+	}
+	if a.byNode == nil {
+		a.byNode = map[topology.NodeID]int{}
+	}
+	a.byNode[s.SrcNode]++
+}
+
+func decide(a *access, cfg Config) (Rule, topology.NodeID) {
+	if a.total < cfg.MinSamples {
+		return Keep, topology.InvalidNode
+	}
+	if float64(a.remote)/float64(a.total) < cfg.RemoteFraction {
+		return Keep, topology.InvalidNode
+	}
+	// Dominant single accessor: migrate to it.
+	bestNode, best := topology.InvalidNode, 0
+	for n, c := range a.byNode {
+		if c > best {
+			bestNode, best = n, c
+		}
+	}
+	if float64(best)/float64(a.total) >= cfg.DominantShare {
+		return Migrate, bestNode
+	}
+	// Shared: replicate if read-only enough, else interleave.
+	if cfg.WriteFraction >= 0 && float64(a.writes)/float64(a.total) <= cfg.WriteFraction {
+		return Replicate, topology.InvalidNode
+	}
+	return Interleave, topology.InvalidNode
+}
+
+// PlanObjects applies the rules at data-object granularity.
+func PlanObjects(heap *alloc.Heap, samples []pebs.Sample, cfg Config) []ObjectAction {
+	cfg = cfg.withDefaults(false)
+	stats := map[alloc.ObjectID]*access{}
+	for _, s := range samples {
+		id, ok := heap.Lookup(s.Addr)
+		if !ok {
+			continue
+		}
+		a := stats[id]
+		if a == nil {
+			a = &access{}
+			stats[id] = a
+		}
+		tally(a, s)
+	}
+	var out []ObjectAction
+	for id, a := range stats {
+		rule, target := decide(a, cfg)
+		out = append(out, ObjectAction{
+			Object: heap.Object(id), Rule: rule, Target: target,
+			Samples:        a.total,
+			RemoteFraction: float64(a.remote) / float64(a.total),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object.ID < out[j].Object.ID })
+	return out
+}
+
+// ApplyObjects executes object decisions on a program.
+func ApplyObjects(p *program.Program, actions []ObjectAction) error {
+	nodes := p.NodesUsed()
+	for _, a := range actions {
+		var err error
+		switch a.Rule {
+		case Keep:
+			continue
+		case Migrate:
+			err = p.Heap.SetPolicy(a.Object.ID, memsim.BindTo(a.Target))
+		case Replicate:
+			err = p.Heap.SetPolicy(a.Object.ID, memsim.Policy{Kind: memsim.Replicate, Nodes: nodes})
+		case Interleave:
+			err = p.Heap.SetPolicy(a.Object.ID, memsim.InterleaveAll())
+		}
+		if err != nil {
+			return fmt.Errorf("autoplace: %s %s: %w", a.Rule, a.Object.Name, err)
+		}
+	}
+	return nil
+}
+
+// PageAction is one page-granularity decision.
+type PageAction struct {
+	Page   uint64 // page base address
+	Rule   Rule
+	Target topology.NodeID
+}
+
+// PlanPages applies the rules per page — the published systems' granularity.
+// Coverage tracks how much of the sampled footprint received any decision:
+// at profiler sampling rates most pages are never observed.
+func PlanPages(m *topology.Machine, heap *alloc.Heap, samples []pebs.Sample, cfg Config) (actions []PageAction, coverage float64) {
+	cfg = cfg.withDefaults(true)
+	pageSize := uint64(m.PageSize())
+	stats := map[uint64]*access{}
+	for _, s := range samples {
+		if _, ok := heap.Lookup(s.Addr); !ok {
+			continue
+		}
+		page := s.Addr &^ (pageSize - 1)
+		a := stats[page]
+		if a == nil {
+			a = &access{}
+			stats[page] = a
+		}
+		tally(a, s)
+	}
+	var decided int
+	for page, a := range stats {
+		rule, target := decide(a, cfg)
+		if rule == Keep {
+			continue
+		}
+		decided++
+		actions = append(actions, PageAction{Page: page, Rule: rule, Target: target})
+	}
+	sort.Slice(actions, func(i, j int) bool { return actions[i].Page < actions[j].Page })
+
+	// Coverage: decided pages vs the total pages of live heap objects.
+	var totalPages uint64
+	for _, o := range heap.Live() {
+		totalPages += (o.Size + pageSize - 1) / pageSize
+	}
+	if totalPages > 0 {
+		coverage = float64(decided) / float64(totalPages)
+	}
+	return actions, coverage
+}
+
+// ApplyPages executes page decisions. The memsim substrate places whole
+// regions, so page migration is modeled by first-touching the page on its
+// target node after resetting the object to first-touch — which moves the
+// decided pages and leaves the rest where a fresh run's first toucher puts
+// them. Replicate/interleave at page granularity degrade to migrate-to-
+// round-robin since a region policy cannot split pages; this matches the
+// published systems' per-page interleave behaviour.
+func ApplyPages(p *program.Program, actions []PageAction) error {
+	if len(actions) == 0 {
+		return nil
+	}
+	// Group pages by object.
+	byObject := map[alloc.ObjectID][]PageAction{}
+	for _, a := range actions {
+		id, ok := p.Heap.Lookup(a.Page)
+		if !ok {
+			continue
+		}
+		byObject[id] = append(byObject[id], a)
+	}
+	nodes := p.NodesUsed()
+	for id, acts := range byObject {
+		o := p.Heap.Object(id)
+		// Snapshot current residency so undecided pages stay put.
+		pageSize := uint64(p.Machine.PageSize())
+		pages := (o.Size + pageSize - 1) / pageSize
+		current := make([]topology.NodeID, pages)
+		for i := uint64(0); i < pages; i++ {
+			current[i] = p.Space.NodeOf(o.Base + i*pageSize)
+		}
+		if err := p.Heap.SetPolicy(id, memsim.FirstTouchPolicy()); err != nil {
+			return fmt.Errorf("autoplace: page reset %s: %w", o.Name, err)
+		}
+		// Re-touch decided pages on their targets.
+		for k, a := range acts {
+			idx := (a.Page - o.Base) / pageSize
+			var target topology.NodeID
+			switch a.Rule {
+			case Migrate:
+				target = a.Target
+			default: // Replicate/Interleave per page: spread round-robin
+				target = nodes[k%len(nodes)]
+			}
+			current[idx] = target
+		}
+		for i := uint64(0); i < pages; i++ {
+			if current[i] != topology.InvalidNode {
+				p.Space.Touch(o.Base+i*pageSize, current[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Summary renders object actions for reports.
+func Summary(actions []ObjectAction) string {
+	var b strings.Builder
+	for _, a := range actions {
+		if a.Rule == Keep {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-10s %-20s (%d samples, %.0f%% remote",
+			a.Rule, a.Object.Name, a.Samples, 100*a.RemoteFraction)
+		if a.Rule == Migrate {
+			fmt.Fprintf(&b, ", -> N%d", int(a.Target))
+		}
+		b.WriteString(")\n")
+	}
+	if b.Len() == 0 {
+		return "  (no actions)\n"
+	}
+	return b.String()
+}

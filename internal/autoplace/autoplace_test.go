@@ -1,0 +1,151 @@
+package autoplace
+
+import (
+	"strings"
+	"testing"
+
+	"drbw/internal/alloc"
+	"drbw/internal/cache"
+	"drbw/internal/memsim"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+)
+
+func heapWith(t *testing.T, names ...string) (*alloc.Heap, map[string]alloc.ObjectID) {
+	t.Helper()
+	as := memsim.NewAddressSpace(topology.Uniform(4, 4))
+	h := alloc.NewHeap(as, 0x10000000)
+	ids := map[string]alloc.ObjectID{}
+	for _, n := range names {
+		id, err := h.Malloc(n, 1<<20, alloc.Site{Func: "f"}, memsim.BindTo(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[n] = id
+	}
+	return h, ids
+}
+
+func s(h *alloc.Heap, id alloc.ObjectID, off uint64, src topology.NodeID, write bool) pebs.Sample {
+	return pebs.Sample{
+		Addr: h.Addr(id, off), Level: cache.MEM, Latency: 400,
+		SrcNode: src, HomeNode: 0, Write: write,
+	}
+}
+
+func TestPlanObjectsRules(t *testing.T) {
+	h, ids := heapWith(t, "single", "readshared", "writeshared", "local", "sparse")
+	var samples []pebs.Sample
+	// single: 20 remote reads, all from node 2 -> migrate to 2.
+	for i := 0; i < 20; i++ {
+		samples = append(samples, s(h, ids["single"], uint64(i*64), 2, false))
+	}
+	// readshared: reads from nodes 1,2,3 evenly -> replicate.
+	for i := 0; i < 30; i++ {
+		samples = append(samples, s(h, ids["readshared"], uint64(i*64), topology.NodeID(1+i%3), false))
+	}
+	// writeshared: multi-node with many writes -> interleave.
+	for i := 0; i < 30; i++ {
+		samples = append(samples, s(h, ids["writeshared"], uint64(i*64), topology.NodeID(1+i%3), i%2 == 0))
+	}
+	// local: accessed from its home node only -> keep.
+	for i := 0; i < 20; i++ {
+		samples = append(samples, s(h, ids["local"], uint64(i*64), 0, false))
+	}
+	// sparse: too few samples -> keep.
+	samples = append(samples, s(h, ids["sparse"], 0, 1, false))
+
+	actions := PlanObjects(h, samples, Config{})
+	got := map[string]ObjectAction{}
+	for _, a := range actions {
+		got[a.Object.Name] = a
+	}
+	if got["single"].Rule != Migrate || got["single"].Target != 2 {
+		t.Errorf("single: %+v", got["single"])
+	}
+	if got["readshared"].Rule != Replicate {
+		t.Errorf("readshared: %+v", got["readshared"])
+	}
+	if got["writeshared"].Rule != Interleave {
+		t.Errorf("writeshared: %+v", got["writeshared"])
+	}
+	if got["local"].Rule != Keep {
+		t.Errorf("local: %+v", got["local"])
+	}
+	if got["sparse"].Rule != Keep {
+		t.Errorf("sparse: %+v", got["sparse"])
+	}
+
+	sum := Summary(actions)
+	if !strings.Contains(sum, "migrate") || !strings.Contains(sum, "single") {
+		t.Errorf("summary:\n%s", sum)
+	}
+}
+
+func TestPlanObjectsBlockPartitionedMisfire(t *testing.T) {
+	// The failure mode the paper's design avoids: an array block-partitioned
+	// across nodes is touched by every node (each in its own range), so the
+	// object-granularity rule sees "write-shared" and interleaves — even
+	// though per-page migration (or DR-BW's co-locate) is the right call.
+	h, ids := heapWith(t, "blocked")
+	var samples []pebs.Sample
+	for i := 0; i < 40; i++ {
+		node := topology.NodeID(i / 10) // each node its own quarter
+		samples = append(samples, s(h, ids["blocked"], uint64(i)*16384, node, i%3 == 0))
+	}
+	actions := PlanObjects(h, samples, Config{})
+	if actions[0].Rule != Interleave {
+		t.Errorf("blocked array: %v (the heuristic should misfire to interleave)", actions[0].Rule)
+	}
+}
+
+func TestPlanPagesCoverage(t *testing.T) {
+	h, ids := heapWith(t, "big")
+	m := topology.Uniform(4, 4)
+	// Samples touch only 3 of 256 pages.
+	var samples []pebs.Sample
+	for _, page := range []uint64{0, 5, 9} {
+		for i := 0; i < 4; i++ {
+			samples = append(samples, s(h, ids["big"], page*4096+uint64(i*64), 2, false))
+		}
+	}
+	actions, coverage := PlanPages(m, h, samples, Config{})
+	if len(actions) != 3 {
+		t.Fatalf("%d page actions, want 3", len(actions))
+	}
+	for _, a := range actions {
+		if a.Rule != Migrate || a.Target != 2 {
+			t.Errorf("page %#x: %v -> %d", a.Page, a.Rule, a.Target)
+		}
+	}
+	want := 3.0 / 256.0
+	if coverage < want*0.99 || coverage > want*1.01 {
+		t.Errorf("coverage %.4f, want %.4f", coverage, want)
+	}
+}
+
+func TestDecideThresholds(t *testing.T) {
+	cfg := Config{}.withDefaults(false)
+	// Below remote fraction: keep.
+	a := &access{total: 100, remote: 10, byNode: map[topology.NodeID]int{1: 100}}
+	if r, _ := decide(a, cfg); r != Keep {
+		t.Errorf("mostly-local data got %v", r)
+	}
+	// Replication disabled.
+	cfgNoRep := Config{WriteFraction: -1}.withDefaults(false)
+	b := &access{total: 100, remote: 100, byNode: map[topology.NodeID]int{1: 50, 2: 50}}
+	if r, _ := decide(b, cfgNoRep); r != Interleave {
+		t.Errorf("read-shared with replication disabled got %v", r)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	for r, want := range map[Rule]string{
+		Keep: "keep", Migrate: "migrate", Replicate: "replicate",
+		Interleave: "interleave", Rule(9): "Rule(9)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d = %q", int(r), got)
+		}
+	}
+}

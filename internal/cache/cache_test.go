@@ -1,0 +1,313 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drbw/internal/topology"
+)
+
+func hier(t *testing.T, cfg Config) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(topology.Uniform(2, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// tiny returns a hierarchy small enough to exercise evictions quickly.
+func tiny(t *testing.T) *Hierarchy {
+	return hier(t, Config{
+		L1Size: 1 << 10, L1Assoc: 2,
+		L2Size: 4 << 10, L2Assoc: 4,
+		L3Size: 16 << 10, L3Assoc: 4,
+		LFBEntries:    4,
+		PrefetchDepth: -1, // disabled
+	})
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{L1: "L1", L2: "L2", L3: "L3", LFB: "LFB", MEM: "MEM", Level(9): "Level(9)"} {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d) = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := tiny(t)
+	r := h.Access(0, 0x100000)
+	if r.Level != MEM || !r.DRAMTraffic {
+		t.Fatalf("cold access = %+v, want MEM with traffic", r)
+	}
+	r = h.Access(0, 0x100000)
+	if r.Level != L1 {
+		t.Fatalf("second access = %+v, want L1", r)
+	}
+	// Same line, different byte: still an L1 hit.
+	r = h.Access(0, 0x100000+32)
+	if r.Level != L1 {
+		t.Fatalf("same-line access = %+v, want L1", r)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h := tiny(t)
+	// L1: 1KB, 2-way, 64B lines -> 8 sets. Addresses 8*64 apart share a set.
+	setStride := uint64(8 * 64)
+	h.Access(0, 0x100000)
+	// Evict from L1 by filling the set with two more lines.
+	h.Access(0, 0x100000+setStride)
+	h.Access(0, 0x100000+2*setStride)
+	r := h.Access(0, 0x100000)
+	if r.Level != L2 {
+		t.Fatalf("after L1 eviction got %v, want L2", r.Level)
+	}
+}
+
+func TestL3SharedAcrossCoresOnNode(t *testing.T) {
+	h := tiny(t)
+	m := topology.Uniform(2, 2)
+	// CPUs 0 and 1 are different cores on node 0.
+	if m.NodeOfCPU(0) != m.NodeOfCPU(1) || m.CoreOfCPU(0) == m.CoreOfCPU(1) {
+		t.Fatal("test assumes CPUs 0,1 are distinct cores on one node")
+	}
+	h.Access(0, 0x200000)
+	r := h.Access(1, 0x200000)
+	if r.Level != L3 {
+		t.Fatalf("cross-core same-node access = %v, want L3 (shared)", r.Level)
+	}
+}
+
+func TestL3NotSharedAcrossNodes(t *testing.T) {
+	h := tiny(t)
+	m := topology.Uniform(2, 2)
+	var other topology.CPUID = -1
+	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+		if m.NodeOfCPU(topology.CPUID(cpu)) == 1 {
+			other = topology.CPUID(cpu)
+			break
+		}
+	}
+	h.Access(0, 0x300000)
+	r := h.Access(other, 0x300000)
+	if r.Level != MEM {
+		t.Fatalf("cross-node access = %v, want MEM (private L3s)", r.Level)
+	}
+}
+
+func TestLFBHitOnInFlightLine(t *testing.T) {
+	h := tiny(t)
+	h.Access(0, 0x400000) // miss, line now in LFB
+	// A second miss to a *different* line in the same burst, then back to a
+	// recently missed line: LFB still holds it even though caches now hit.
+	// To test the LFB path itself, evict from all caches via Flush of tags is
+	// not possible; instead use distinct lines mapping to same sets heavily.
+	// Simpler: the LFB check happens only after an L3 miss, so access the
+	// same line from a different core on the same node *before* it lands in
+	// L3... the model inserts into L3 on first access, so craft it by
+	// checking lfb state directly.
+	b := newLFB(2)
+	if b.hit(5) {
+		t.Error("empty LFB reported hit")
+	}
+	b.record(5)
+	if !b.hit(5) {
+		t.Error("recorded line not found in LFB")
+	}
+	b.record(6)
+	b.record(7) // evicts 5
+	if b.hit(5) {
+		t.Error("evicted line still in LFB")
+	}
+	if !b.hit(6) || !b.hit(7) {
+		t.Error("recent lines missing from LFB")
+	}
+	// Zero-entry LFB is inert.
+	z := newLFB(0)
+	z.record(1)
+	if z.hit(1) {
+		t.Error("zero-entry LFB reported hit")
+	}
+}
+
+func TestPrefetcherCoversSequentialStream(t *testing.T) {
+	cfg := Config{
+		L1Size: 1 << 10, L1Assoc: 2,
+		L2Size: 4 << 10, L2Assoc: 4,
+		L3Size: 16 << 10, L3Assoc: 4,
+		LFBEntries:    4,
+		PrefetchDepth: 4, PrefetchStreams: 2,
+	}
+	h := hier(t, cfg)
+	var prefetched, mem int
+	// Long sequential scan over a range far larger than L3.
+	for i := 0; i < 4096; i++ {
+		r := h.Access(0, uint64(0x1000000+i*64))
+		switch {
+		case r.Prefetched:
+			prefetched++
+			if !r.DRAMTraffic {
+				t.Fatal("prefetched access must still count as DRAM traffic")
+			}
+			if r.Level != LFB {
+				t.Fatalf("prefetched access served from %v, want LFB", r.Level)
+			}
+		case r.Level == MEM:
+			mem++
+		}
+	}
+	if prefetched == 0 {
+		t.Fatal("sequential stream never triggered the prefetcher")
+	}
+	// An established stream covers ~3/4 of line misses; the rest stay
+	// exposed as raw DRAM accesses (prefetch lag).
+	if mem == 0 {
+		t.Error("prefetcher covered everything; expected ~1/4 of line misses exposed")
+	}
+	lineMisses := prefetched + mem
+	ratio := float64(prefetched) / float64(lineMisses)
+	if ratio < 0.6 || ratio > 0.9 {
+		t.Errorf("prefetch coverage = %.2f of %d line misses, want ~0.75", ratio, lineMisses)
+	}
+}
+
+func TestPrefetcherIgnoresRandomAccesses(t *testing.T) {
+	p := newPrefetcher(4, 4)
+	// A scattered pattern never establishes a stream.
+	lines := []uint64{100, 7, 9000, 42, 55555, 3, 777, 123456}
+	for _, l := range lines {
+		if p.observe(l) {
+			t.Fatalf("random line %d reported as prefetched", l)
+		}
+	}
+}
+
+func TestPrefetcherTracksMultipleStreams(t *testing.T) {
+	p := newPrefetcher(2, 2)
+	covered := 0
+	for i := uint64(0); i < 16; i++ {
+		if p.observe(1000 + i) {
+			covered++
+		}
+		if p.observe(9000 + i) {
+			covered++
+		}
+	}
+	if covered < 20 {
+		t.Errorf("interleaved streams covered %d accesses, want most of 32", covered)
+	}
+}
+
+func TestDisabledPrefetcher(t *testing.T) {
+	p := newPrefetcher(0, 4)
+	for i := uint64(0); i < 32; i++ {
+		if p.observe(i) {
+			t.Fatal("prefetcher with zero streams covered an access")
+		}
+	}
+	p2 := newPrefetcher(4, 0)
+	for i := uint64(0); i < 32; i++ {
+		if p2.observe(i) {
+			t.Fatal("prefetcher with zero depth covered an access")
+		}
+	}
+}
+
+func TestFlushClearsState(t *testing.T) {
+	h := tiny(t)
+	h.Access(0, 0x500000)
+	h.Flush()
+	r := h.Access(0, 0x500000)
+	if r.Level != MEM {
+		t.Fatalf("post-flush access = %v, want MEM", r.Level)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := newSetAssoc(0, 4, 64); err == nil {
+		t.Error("zero-size cache accepted")
+	}
+	if _, err := newSetAssoc(1024, 0, 64); err == nil {
+		t.Error("zero-way cache accepted")
+	}
+	if _, err := newSetAssoc(1024, 5, 64); err == nil {
+		t.Error("non-divisible way count accepted")
+	}
+	if _, err := newSetAssoc(24*64, 2, 64); err == nil { // 12 sets: not a power of two
+		t.Error("non-power-of-two set count accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	h, err := NewHierarchy(topology.Uniform(2, 2), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultConfig()
+	got := h.Config()
+	if got.L1Size != def.L1Size || got.L3Size != def.L3Size || got.LFBEntries != def.LFBEntries {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+	if h.SetsL1() <= 0 || h.SetsL3() <= 0 {
+		t.Error("set counts must be positive")
+	}
+}
+
+func TestAccessFromInvalidCPUPanics(t *testing.T) {
+	h := tiny(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("access from invalid CPU did not panic")
+		}
+	}()
+	h.Access(-1, 0x1000)
+}
+
+// Property: LRU keeps a working set that fits in one set resident.
+func TestLRUWithinSetProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		c, err := newSetAssoc(4*64, 4, 64) // 1 set, 4 ways
+		if err != nil {
+			return false
+		}
+		// Four distinct lines fill the set; repeated re-access must always hit.
+		base := uint64(seed) * 64
+		lines := []uint64{base, base + 64, base + 128, base + 192}
+		for _, l := range lines {
+			c.access(l)
+		}
+		for round := 0; round < 8; round++ {
+			for _, l := range lines {
+				if !c.access(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set of w lines in one set with w > ways thrashes —
+// a cyclic scan never hits under LRU.
+func TestLRUThrashProperty(t *testing.T) {
+	c, err := newSetAssoc(4*64, 4, 64) // 1 set, 4 ways
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []uint64{0, 64, 128, 192, 256} // 5 lines, 4 ways
+	for _, l := range lines {
+		c.access(l)
+	}
+	for round := 0; round < 4; round++ {
+		for _, l := range lines {
+			if c.access(l) {
+				t.Fatal("cyclic over-capacity scan hit under LRU")
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package chart renders small horizontal bar charts as text, used by
+// cmd/drbw-bench and the examples to make the figure reproductions
+// readable in a terminal (the paper's Figures 4-8 are bar charts).
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value.
+type Bar struct {
+	Label string
+	Value float64
+	// Group optionally tags the bar (e.g. the strategy); grouped bars are
+	// rendered with distinct fill runes.
+	Group string
+}
+
+// fills cycles per group, in first-seen order.
+var fills = []rune{'█', '▒', '░', '▪'}
+
+// Options controls rendering.
+type Options struct {
+	// Width is the maximum bar width in runes (default 40).
+	Width int
+	// Format renders the numeric value (default "%.2f").
+	Format string
+	// Max fixes the scale; 0 scales to the largest value.
+	Max float64
+}
+
+// Render draws the bars, one per line, aligned and scaled.
+func Render(bars []Bar, opts Options) string {
+	if len(bars) == 0 {
+		return ""
+	}
+	if opts.Width <= 0 {
+		opts.Width = 40
+	}
+	if opts.Format == "" {
+		opts.Format = "%.2f"
+	}
+	max := opts.Max
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	labelW := 0
+	groupOrder := map[string]int{}
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+		if _, ok := groupOrder[b.Group]; !ok {
+			groupOrder[b.Group] = len(groupOrder)
+		}
+	}
+	var out strings.Builder
+	for _, b := range bars {
+		fill := fills[groupOrder[b.Group]%len(fills)]
+		n := int(math.Round(float64(opts.Width) * b.Value / max))
+		if n < 0 {
+			n = 0
+		}
+		if b.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(&out, "%-*s %s%s %s\n",
+			labelW, b.Label,
+			strings.Repeat(string(fill), n),
+			strings.Repeat(" ", opts.Width-n),
+			fmt.Sprintf(opts.Format, b.Value))
+	}
+	if len(groupOrder) > 1 {
+		out.WriteString(legend(groupOrder))
+	}
+	return out.String()
+}
+
+func legend(groups map[string]int) string {
+	ordered := make([]string, len(groups))
+	for g, i := range groups {
+		ordered[i] = g
+	}
+	var b strings.Builder
+	b.WriteString("legend:")
+	for i, g := range ordered {
+		if g == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "  %c %s", fills[i%len(fills)], g)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

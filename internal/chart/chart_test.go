@@ -1,0 +1,85 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render([]Bar{
+		{Label: "block", Value: 0.95},
+		{Label: "point.p", Value: 0.05},
+	}, Options{Width: 20, Format: "%.0f%%", Max: 1})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "block") || !strings.Contains(lines[0], "1%") {
+		t.Errorf("line 0: %q", lines[0])
+	}
+	// 95% of 20 = 19 filled cells.
+	if n := strings.Count(lines[0], "█"); n != 19 {
+		t.Errorf("big bar has %d cells, want 19", n)
+	}
+	// Non-zero values always show at least one cell.
+	if n := strings.Count(lines[1], "█"); n != 1 {
+		t.Errorf("small bar has %d cells, want 1", n)
+	}
+}
+
+func TestRenderGroups(t *testing.T) {
+	out := Render([]Bar{
+		{Label: "T16-N4", Value: 1.7, Group: "replicate"},
+		{Label: "T16-N4", Value: 1.2, Group: "interleave"},
+	}, Options{Width: 10})
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("grouped chart missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "█") || !strings.Contains(out, "▒") {
+		t.Errorf("groups share a fill:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if Render(nil, Options{}) != "" {
+		t.Error("empty chart should render empty")
+	}
+}
+
+func TestRenderZeroValues(t *testing.T) {
+	out := Render([]Bar{{Label: "a", Value: 0}}, Options{Width: 10})
+	if strings.Contains(out, "█") {
+		t.Errorf("zero bar rendered cells:\n%s", out)
+	}
+}
+
+// Property: the fill never exceeds the configured width.
+func TestRenderWidthProperty(t *testing.T) {
+	f := func(vals []float64, width uint8) bool {
+		w := int(width%60) + 5
+		var bars []Bar
+		for i, v := range vals {
+			if i >= 10 {
+				break
+			}
+			if v < 0 {
+				v = -v
+			}
+			bars = append(bars, Bar{Label: "x", Value: v})
+		}
+		if len(bars) == 0 {
+			return true
+		}
+		out := Render(bars, Options{Width: w})
+		for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+			if strings.Count(line, "█") > w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

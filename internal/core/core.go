@@ -1,0 +1,423 @@
+// Package core is DR-BW's experiment driver: it wires the profiler
+// (engine + PEBS collector), the feature extractor, the decision-tree
+// classifier and the diagnoser into the pipelines the paper evaluates —
+// training-set collection (Table II), classifier training and cross
+// validation (Table III, Figure 3), and per-case detection with the
+// interleave ground truth (Tables IV, V, VI).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"drbw/internal/diagnose"
+	"drbw/internal/dtree"
+	"drbw/internal/engine"
+	"drbw/internal/features"
+	"drbw/internal/micro"
+	"drbw/internal/optimize"
+	"drbw/internal/pebs"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+)
+
+// DefaultEngineConfig is the simulation fidelity used by the experiments:
+// a window long enough to expose cache residency of the friendly inputs.
+func DefaultEngineConfig(seed uint64) engine.Config {
+	return engine.Config{
+		Window:        24576,
+		Warmup:        6144,
+		ReservoirSize: 2048,
+		Seed:          seed,
+	}
+}
+
+// DefaultCollectorConfig mirrors the paper's sampling setup: period 1/2000,
+// PEBS latency threshold, bounded memory, a small per-sample cost.
+func DefaultCollectorConfig() pebs.Config {
+	return pebs.Config{
+		Period:  pebs.DefaultPeriod,
+		MaxKept: 120000,
+		// A PEBS assist plus buffer drain costs a few hundred nanoseconds;
+		// at 2.7 GHz that is on the order of a thousand cycles per sample.
+		OverheadCycles: 1200,
+	}
+}
+
+// TrainingRun is one profiled mini-program run with its extracted features.
+type TrainingRun struct {
+	Instance micro.Instance
+	// Channel is the remote channel whose feature vector represents the
+	// run (the busiest one; contention, when present, lives there).
+	Channel topology.Channel
+	Vector  features.Vector
+	// Candidates carries the full candidate statistics of the run's source
+	// socket batch, for the Table I selection experiment.
+	Candidates map[string]float64
+	// PeakRemoteUtil is simulator ground truth used only for sanity checks.
+	PeakRemoteUtil float64
+}
+
+// TrainingData is the collected Table II dataset.
+type TrainingData struct {
+	Runs    []TrainingRun
+	Dataset *dtree.Dataset
+}
+
+// Summary counts runs per mini-program and mode, the content of Table II.
+func (td *TrainingData) Summary() map[string]map[features.Label]int {
+	out := map[string]map[features.Label]int{}
+	for _, r := range td.Runs {
+		name := baseName(r.Instance.Builder.Name)
+		if out[name] == nil {
+			out[name] = map[features.Label]int{}
+		}
+		out[name][r.Instance.Mode]++
+	}
+	return out
+}
+
+func baseName(name string) string {
+	for _, b := range []string{"sumv", "dotv", "countv", "bandit"} {
+		if len(name) >= len(b) && name[:len(b)] == b {
+			return b
+		}
+	}
+	return name
+}
+
+// busiestRemoteChannel picks the remote channel carrying the most samples;
+// when no remote channel saw traffic it falls back to the channel leaving
+// the source socket with the most samples, whose vector then has zero
+// remote features — a clean "good" example.
+func busiestRemoteChannel(m *topology.Machine, samples []pebs.Sample) topology.Channel {
+	byChannel := pebs.Associate(samples)
+	best := topology.Channel{Src: 0, Dst: topology.NodeID(1 % m.Nodes())}
+	bestN := -1
+	for _, ch := range m.RemoteChannels() {
+		if n := len(byChannel[ch]); n > bestN {
+			best, bestN = ch, n
+		}
+	}
+	if bestN > 0 {
+		return best
+	}
+	// No remote traffic at all: anchor on the busiest source socket.
+	bySrc := pebs.BySourceNode(samples)
+	bestSrc, n := topology.NodeID(0), -1
+	for src, ss := range bySrc {
+		if len(ss) > n {
+			bestSrc, n = src, len(ss)
+		}
+	}
+	return topology.Channel{Src: bestSrc, Dst: topology.NodeID((int(bestSrc) + 1) % m.Nodes())}
+}
+
+// peakRemoteUtil extracts the simulator's worst inter-socket link
+// utilization (local controllers excluded: saturating your own node's
+// controller is not *remote* contention).
+func peakRemoteUtil(m *topology.Machine, res *engine.Result) float64 {
+	maxU := 0.0
+	for _, ch := range m.RemoteChannels() {
+		if u := res.Channel(ch).PeakUtil; u > maxU {
+			maxU = u
+		}
+	}
+	return maxU
+}
+
+// CollectTraining profiles every instance of the training set and extracts
+// its labeled feature vector. Instances are independent simulations and
+// fan out over GOMAXPROCS workers; seeds come from the instances, so the
+// result is identical to a serial collection.
+func CollectTraining(m *topology.Machine, ecfg engine.Config, set []micro.Instance) (*TrainingData, error) {
+	runs := make([]TrainingRun, len(set))
+	errs := make([]error, len(set))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(set) {
+		workers = len(set)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runs[i], errs[i] = collectOne(m, ecfg, set[i])
+			}
+		}()
+	}
+	for i := range set {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	td := &TrainingData{Dataset: &dtree.Dataset{
+		FeatureNames: featureNames(),
+		ClassNames:   []string{features.Good.String(), features.RMC.String()},
+	}}
+	for i := range set {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: training instance %d (%s): %w", i, set[i].Builder.Name, errs[i])
+		}
+		td.Runs = append(td.Runs, runs[i])
+		td.Dataset.Examples = append(td.Dataset.Examples, dtree.Example{
+			X: runs[i].Vector[:], Y: int(set[i].Mode),
+		})
+	}
+	return td, nil
+}
+
+// collectOne profiles one training instance.
+func collectOne(m *topology.Machine, ecfg engine.Config, inst micro.Instance) (TrainingRun, error) {
+	p, err := inst.Builder.New(m, inst.Cfg)
+	if err != nil {
+		return TrainingRun{}, err
+	}
+	ccfg := DefaultCollectorConfig()
+	ccfg.Flavor = ecfg.SamplerFlavor
+	col := pebs.NewCollector(ccfg, inst.Cfg.Seed+7)
+	run := ecfg
+	run.Collector = col
+	run.Seed = inst.Cfg.Seed + 13
+	res, err := p.Run(run)
+	if err != nil {
+		return TrainingRun{}, err
+	}
+	samples := col.Samples()
+	ch := busiestRemoteChannel(m, samples)
+	vec := features.Extract(samples, ch, col.Weight())
+
+	// Candidate stats over the channel's source-socket batch.
+	var batch []pebs.Sample
+	for _, s := range samples {
+		if s.SrcNode == ch.Src {
+			batch = append(batch, s)
+		}
+	}
+	return TrainingRun{
+		Instance:       inst,
+		Channel:        ch,
+		Vector:         vec,
+		Candidates:     features.Candidates(batch, col.Weight()),
+		PeakRemoteUtil: peakRemoteUtil(m, res),
+	}, nil
+}
+
+func featureNames() []string {
+	out := make([]string, features.NumFeatures)
+	copy(out, features.Names[:])
+	return out
+}
+
+// DefaultTreeConfig matches the paper's compact tree (Figure 3 has depth 3).
+func DefaultTreeConfig() dtree.Config {
+	return dtree.Config{MaxDepth: 4, MinLeaf: 3}
+}
+
+// TrainClassifier fits the decision tree on the collected data.
+func TrainClassifier(td *TrainingData, cfg dtree.Config) (*dtree.Tree, error) {
+	return dtree.Train(td.Dataset, cfg)
+}
+
+// CrossValidate runs the paper's stratified 10-fold validation.
+func CrossValidate(td *TrainingData, cfg dtree.Config) (*dtree.ConfusionMatrix, error) {
+	return dtree.CrossValidate(td.Dataset, cfg, 10, 42)
+}
+
+// SelectionExperiment reproduces the Table I feature-selection filter from
+// the collected candidate statistics.
+func (td *TrainingData) SelectionExperiment() []string {
+	var runs []features.LabeledCandidates
+	for _, r := range td.Runs {
+		runs = append(runs, features.LabeledCandidates{
+			Program: baseName(r.Instance.Builder.Name),
+			Mode:    r.Instance.Mode,
+			Values:  r.Candidates,
+		})
+	}
+	return features.SelectRelevant(runs, 0)
+}
+
+// Detector applies a trained classifier to benchmark runs.
+type Detector struct {
+	Tree *dtree.Tree
+	// MinSamples is the minimum per-channel sample count needed to classify
+	// a channel; sparser channels carry no usable signal.
+	MinSamples int
+	// Ecfg is the engine configuration for detection runs.
+	Ecfg engine.Config
+}
+
+// NewDetector builds a detector with the default thresholds.
+func NewDetector(tree *dtree.Tree, ecfg engine.Config) *Detector {
+	return &Detector{Tree: tree, MinSamples: 25, Ecfg: ecfg}
+}
+
+// CaseResult is the outcome of one benchmark case (input × Tt-Nn config).
+type CaseResult struct {
+	Bench    string
+	Cfg      program.Config
+	Detected bool // classifier says rmc (rule 1 of Section VII-A)
+	// Contended lists the channels classified rmc.
+	Contended []topology.Channel
+	// Actual is the interleave ground truth; valid when Evaluated.
+	Actual    bool
+	Evaluated bool
+	// InterleaveSpeedup is the ground-truth probe's speedup.
+	InterleaveSpeedup float64
+}
+
+// DetectCase runs one case with profiling and classifies every remote
+// channel; the case is rmc if at least one channel is (the paper's rule 1).
+// It returns the result together with the run's samples, heap and collector
+// weight so callers can diagnose without re-running.
+func (d *Detector) DetectCase(b program.Builder, m *topology.Machine, cfg program.Config) (CaseResult, *program.Program, []pebs.Sample, float64, error) {
+	p, err := b.New(m, cfg)
+	if err != nil {
+		return CaseResult{}, nil, nil, 0, err
+	}
+	ccfg := DefaultCollectorConfig()
+	ccfg.Flavor = d.Ecfg.SamplerFlavor
+	col := pebs.NewCollector(ccfg, cfg.Seed+101)
+	run := d.Ecfg
+	run.Collector = col
+	run.Seed = cfg.Seed + 103
+	if _, err := p.Run(run); err != nil {
+		return CaseResult{}, nil, nil, 0, err
+	}
+	samples := col.Samples()
+	cr := CaseResult{Bench: b.Name, Cfg: cfg}
+	for ch, vec := range features.ChannelVectors(m, samples, col.Weight(), d.MinSamples) {
+		v := vec
+		if d.Tree.Predict(v[:]) == int(features.RMC) {
+			cr.Detected = true
+			cr.Contended = append(cr.Contended, ch)
+		}
+	}
+	sortChannels(cr.Contended)
+	return cr, p, samples, col.Weight(), nil
+}
+
+func sortChannels(chs []topology.Channel) {
+	for i := 1; i < len(chs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := chs[j-1], chs[j]
+			if a.Src < b.Src || (a.Src == b.Src && a.Dst <= b.Dst) {
+				break
+			}
+			chs[j-1], chs[j] = b, a
+		}
+	}
+}
+
+// EvaluateCase runs detection plus the paper's ground-truth probe
+// (whole-program interleave, ≥10% speedup ⇒ actually contended).
+func (d *Detector) EvaluateCase(b program.Builder, m *topology.Machine, cfg program.Config) (CaseResult, error) {
+	cr, _, _, _, err := d.DetectCase(b, m, cfg)
+	if err != nil {
+		return CaseResult{}, err
+	}
+	ecfg := d.Ecfg
+	ecfg.Seed = cfg.Seed + 211
+	actual, comp, err := optimize.ActualRMC(b, m, cfg, ecfg)
+	if err != nil {
+		return CaseResult{}, err
+	}
+	cr.Actual = actual
+	cr.Evaluated = true
+	cr.InterleaveSpeedup = comp.Speedup()
+	return cr, nil
+}
+
+// Diagnose runs the full DR-BW pipeline on one case: detection, then —
+// when contention is found — root-cause attribution of the contended
+// channels' samples to data objects.
+func (d *Detector) Diagnose(b program.Builder, m *topology.Machine, cfg program.Config) (CaseResult, *diagnose.Report, error) {
+	cr, p, samples, weight, err := d.DetectCase(b, m, cfg)
+	if err != nil {
+		return CaseResult{}, nil, err
+	}
+	if !cr.Detected {
+		return cr, &diagnose.Report{}, nil
+	}
+	return cr, diagnose.Analyze(p.Heap, samples, cr.Contended, weight), nil
+}
+
+// BenchmarkSummary aggregates one benchmark's cases (a Table V row).
+type BenchmarkSummary struct {
+	Name     string
+	Cases    int
+	Actual   int // ground-truth rmc cases
+	Detected int // classifier rmc cases
+	// Results carries the per-case detail.
+	Results []CaseResult
+}
+
+// Class applies the paper's rule 2: a benchmark is rmc if any case is.
+func (s BenchmarkSummary) Class() features.Label {
+	if s.Detected > 0 {
+		return features.RMC
+	}
+	return features.Good
+}
+
+// EvaluateBenchmark sweeps every input × standard configuration of one
+// benchmark. seedBase decorrelates benchmarks.
+func (d *Detector) EvaluateBenchmark(b program.Builder, m *topology.Machine, seedBase uint64) (BenchmarkSummary, error) {
+	sum := BenchmarkSummary{Name: b.Name}
+	seed := seedBase
+	for _, input := range b.Inputs {
+		for _, cfg := range program.StandardConfigs() {
+			c := cfg
+			c.Input = input
+			c.Seed = seed
+			seed += 17
+			cr, err := d.EvaluateCase(b, m, c)
+			if err != nil {
+				return sum, fmt.Errorf("core: %s %s: %w", b.Name, c, err)
+			}
+			sum.Cases++
+			if cr.Actual {
+				sum.Actual++
+			}
+			if cr.Detected {
+				sum.Detected++
+			}
+			sum.Results = append(sum.Results, cr)
+		}
+	}
+	return sum, nil
+}
+
+// CaseStats holds the Table VI accuracy metrics.
+type CaseStats struct {
+	Correctness float64
+	FPR         float64
+	FNR         float64
+}
+
+// AccuracyMatrix pools per-case outcomes into the paper's Table VI
+// confusion matrix (positive class: rmc).
+func AccuracyMatrix(sums []BenchmarkSummary) *dtree.ConfusionMatrix {
+	cm := dtree.NewConfusionMatrix([]string{"good", "rmc"})
+	for _, s := range sums {
+		for _, r := range s.Results {
+			a, p := 0, 0
+			if r.Actual {
+				a = 1
+			}
+			if r.Detected {
+				p = 1
+			}
+			cm.Add(a, p)
+		}
+	}
+	return cm
+}

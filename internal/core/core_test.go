@@ -1,0 +1,229 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"drbw/internal/engine"
+	"drbw/internal/features"
+	"drbw/internal/micro"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+	"drbw/internal/workloads"
+)
+
+func testEcfg() engine.Config {
+	return engine.Config{Window: 4096, Warmup: 2048, ReservoirSize: 512, Seed: 3}
+}
+
+// reducedSet takes every stride-th training instance, preserving label mix.
+func reducedSet(stride int) []micro.Instance {
+	full := micro.TrainingSet()
+	var out []micro.Instance
+	for i := 0; i < len(full); i += stride {
+		out = append(out, full[i])
+	}
+	return out
+}
+
+// trainReduced collects and trains on a 48-run subset; shared across tests
+// via sync.Once-style caching in TestMain would be overkill — each caller
+// pays ~2s.
+func trainReduced(t *testing.T) (*TrainingData, *Detector) {
+	t.Helper()
+	m := topology.XeonE5_4650()
+	td, err := CollectTraining(m, testEcfg(), reducedSet(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := TrainClassifier(td, DefaultTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return td, NewDetector(tree, testEcfg())
+}
+
+func TestCollectTrainingShape(t *testing.T) {
+	td, _ := trainReduced(t)
+	if len(td.Runs) != 48 {
+		t.Fatalf("reduced set has %d runs", len(td.Runs))
+	}
+	if len(td.Dataset.Examples) != 48 {
+		t.Fatalf("dataset has %d examples", len(td.Dataset.Examples))
+	}
+	sum := td.Summary()
+	for _, prog := range []string{"sumv", "dotv", "countv", "bandit"} {
+		if sum[prog] == nil {
+			t.Errorf("no runs for %s", prog)
+		}
+	}
+	// Label sanity: every instance labeled rmc must show a saturated remote
+	// path in the simulator, every good instance must not (the paper's
+	// "manual examination" step).
+	for _, r := range td.Runs {
+		if r.Instance.Mode == features.RMC && r.PeakRemoteUtil < 0.9 {
+			t.Errorf("%s %s labeled rmc but peak link util %.2f",
+				r.Instance.Builder.Name, r.Instance.Cfg, r.PeakRemoteUtil)
+		}
+		if r.Instance.Mode == features.Good && r.PeakRemoteUtil > 1.0 {
+			t.Errorf("%s %s labeled good but peak link util %.2f",
+				r.Instance.Builder.Name, r.Instance.Cfg, r.PeakRemoteUtil)
+		}
+	}
+}
+
+func TestTrainedTreeSeparatesTrainingData(t *testing.T) {
+	td, d := trainReduced(t)
+	wrong := 0
+	for i, e := range td.Dataset.Examples {
+		if d.Tree.Predict(e.X) != e.Y {
+			wrong++
+			t.Logf("misclassified: %s %s", td.Runs[i].Instance.Builder.Name, td.Runs[i].Instance.Cfg)
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("%d/48 training errors", wrong)
+	}
+	// The tree should lean on the remote-DRAM features the paper's tree
+	// uses (feature 6: remote count, feature 7: remote latency — indices
+	// 5/6 here) or the closely correlated latency-ratio features.
+	used := d.Tree.UsedFeatures()
+	relevant := false
+	for _, f := range used {
+		if f <= 6 { // latency ratios or remote count/latency
+			relevant = true
+		}
+	}
+	if !relevant {
+		t.Errorf("tree uses features %v, none remote/latency related", used)
+	}
+}
+
+func TestCrossValidationAccuracy(t *testing.T) {
+	td, _ := trainReduced(t)
+	cm, err := CrossValidate(td, DefaultTreeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Total() != 48 {
+		t.Fatalf("CV total %d", cm.Total())
+	}
+	if acc := cm.Accuracy(); acc < 0.85 {
+		t.Errorf("10-fold CV accuracy %.2f; paper reports 97.4%% on the full set", acc)
+	}
+}
+
+func TestSelectionExperimentKeepsRemoteFeatures(t *testing.T) {
+	td, _ := trainReduced(t)
+	kept := td.SelectionExperiment()
+	joined := strings.Join(kept, ",")
+	if !strings.Contains(joined, "remote") && !strings.Contains(joined, "latency") {
+		t.Errorf("selection kept %v; expected remote/latency features", kept)
+	}
+}
+
+func TestDetectContendedBenchmark(t *testing.T) {
+	_, d := trainReduced(t)
+	m := topology.XeonE5_4650()
+	sc, _ := workloads.ByName("Streamcluster")
+	cr, _, _, _, err := d.DetectCase(sc.Builder, m, program.Config{
+		Threads: 32, Nodes: 4, Input: "native", Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Detected {
+		t.Error("streamcluster native T32-N4 not detected as rmc")
+	}
+	if len(cr.Contended) == 0 {
+		t.Error("no contended channels reported")
+	}
+	for _, ch := range cr.Contended {
+		if ch.Local() {
+			t.Errorf("local channel %v flagged; detection is per remote channel", ch)
+		}
+	}
+}
+
+func TestDetectFriendlyBenchmark(t *testing.T) {
+	_, d := trainReduced(t)
+	m := topology.XeonE5_4650()
+	bs, _ := workloads.ByName("Blackscholes")
+	cr, _, _, _, err := d.DetectCase(bs.Builder, m, program.Config{
+		Threads: 64, Nodes: 4, Input: "native", Seed: 78,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Detected {
+		t.Errorf("blackscholes detected rmc on channels %v", cr.Contended)
+	}
+}
+
+func TestEvaluateCaseGroundTruth(t *testing.T) {
+	_, d := trainReduced(t)
+	m := topology.XeonE5_4650()
+	sc, _ := workloads.ByName("Streamcluster")
+	cr, err := d.EvaluateCase(sc.Builder, m, program.Config{
+		Threads: 32, Nodes: 4, Input: "native", Seed: 79,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Evaluated || !cr.Actual {
+		t.Errorf("ground truth should confirm contention (speedup %.2f)", cr.InterleaveSpeedup)
+	}
+	if cr.Actual && !cr.Detected {
+		t.Error("false negative: actually contended but not detected")
+	}
+}
+
+func TestDiagnoseFindsBlock(t *testing.T) {
+	_, d := trainReduced(t)
+	m := topology.XeonE5_4650()
+	sc, _ := workloads.ByName("Streamcluster")
+	cr, rep, err := d.Diagnose(sc.Builder, m, program.Config{
+		Threads: 32, Nodes: 4, Input: "native", Seed: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cr.Detected {
+		t.Fatal("contention not detected; cannot diagnose")
+	}
+	if len(rep.Overall) == 0 {
+		t.Fatal("empty diagnosis")
+	}
+	if top := rep.Overall[0].Object.Name; top != "block" {
+		t.Errorf("top CF object %q, want block (paper Figure 4b)", top)
+	}
+}
+
+func TestAccuracyMatrix(t *testing.T) {
+	sums := []BenchmarkSummary{{
+		Name: "x",
+		Results: []CaseResult{
+			{Actual: true, Detected: true},
+			{Actual: false, Detected: false},
+			{Actual: false, Detected: true},
+		},
+	}}
+	cm := AccuracyMatrix(sums)
+	if cm.Total() != 3 {
+		t.Fatalf("total %d", cm.Total())
+	}
+	if cm.Counts[0][1] != 1 || cm.Counts[1][1] != 1 || cm.Counts[0][0] != 1 {
+		t.Errorf("matrix wrong: %v", cm.Counts)
+	}
+}
+
+func TestBenchmarkSummaryClass(t *testing.T) {
+	s := BenchmarkSummary{Detected: 0}
+	if s.Class() != features.Good {
+		t.Error("no detections should be good")
+	}
+	s.Detected = 1
+	if s.Class() != features.RMC {
+		t.Error("any detection should be rmc")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"drbw/internal/features"
+	"drbw/internal/micro"
+	"drbw/internal/pebs"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+	"drbw/internal/workloads"
+)
+
+// TestDebugBenchVectors dumps per-channel feature vectors for selected
+// benchmark cases. Run with DRBW_DEBUG_BENCH=1.
+func TestDebugBenchVectors(t *testing.T) {
+	if os.Getenv("DRBW_DEBUG_BENCH") == "" {
+		t.Skip("set DRBW_DEBUG_BENCH=1 to dump benchmark vectors")
+	}
+	m := topology.XeonE5_4650()
+	ecfg := DefaultEngineConfig(1)
+	ecfg.Window = 16384
+	ecfg.Warmup = 8192
+	td, err := CollectTraining(m, ecfg, micro.TrainingSet()[:0]) // empty: no training needed
+	_ = td
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, input string
+		threads     int
+	}{
+		{"Ferret", "native", 64},
+		{"IS", "C", 64},
+		{"UA", "C", 64},
+		{"Fluidanimate", "native", 64},
+		{"SP", "B", 32},
+	}
+	for _, cs := range cases {
+		e, _ := workloads.ByName(cs.name)
+		cfg := program.Config{Threads: cs.threads, Nodes: 4, Input: cs.input, Seed: 999}
+		p, err := e.Builder.New(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := pebs.NewCollector(DefaultCollectorConfig(), 1000)
+		run := ecfg
+		run.Collector = col
+		res, err := p.Run(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxU := 0.0
+		for _, ch := range m.Channels() {
+			if u := res.Channel(ch).PeakUtil; u > maxU {
+				maxU = u
+			}
+		}
+		fmt.Printf("\n%s %s T%d-N4  maxUtil=%.2f\n", cs.name, cs.input, cs.threads, maxU)
+		for ch, v := range features.ChannelVectors(m, col.Samples(), col.Weight(), 25) {
+			fmt.Printf("  %-8v f1=%.4f f6=%7.0f f7=%6.0f f8=%7.0f f9=%6.0f f10=%8.0f\n",
+				ch, v[0], v[5], v[6], v[7], v[8], v[9])
+		}
+	}
+}

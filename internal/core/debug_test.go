@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"drbw/internal/micro"
+	"drbw/internal/topology"
+)
+
+// TestDebugTrainingFeatures dumps per-run features 6/7 and peak util; run
+// explicitly with: go test ./internal/core -run DebugTrainingFeatures -v -debug-train
+func TestDebugTrainingFeatures(t *testing.T) {
+	if os.Getenv("DRBW_DEBUG_TRAIN") == "" {
+		t.Skip("set DRBW_DEBUG_TRAIN=1 to dump training features")
+	}
+	m := topology.XeonE5_4650()
+	td, err := CollectTraining(m, DefaultEngineConfig(1), micro.TrainingSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range td.Runs {
+		v := r.Vector
+		fmt.Printf("%-22s %-10s %-4s f1=%.3f f2=%.3f f6=%7.0f f7=%6.0f f8=%7.0f f9=%6.0f f10=%8.0f f11=%6.0f util=%.2f ch=%v\n",
+			r.Instance.Builder.Name, r.Instance.Cfg.Label(), r.Instance.Mode,
+			v[0], v[1], v[5], v[6], v[7], v[8], v[9], v[10], r.PeakRemoteUtil, r.Channel)
+	}
+}

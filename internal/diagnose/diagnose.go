@@ -1,0 +1,157 @@
+// Package diagnose implements DR-BW's root-cause diagnoser (Section VI):
+// once the classifier flags contended channels, samples on those channels
+// are attributed to heap data objects and each object is charged a
+// Contribution Fraction (CF).
+//
+// For one contended channel c and data object A:
+//
+//	CF_c(A) = Samples(c, A) / Samples(c, ALL)
+//
+// and across all contended channels:
+//
+//	CF(A) = Σ_c Samples(c, A) / Σ_c Samples(c, ALL)
+//
+// The objects with the highest CF are the root causes; the paper's fixes
+// (co-locate, interleave, replicate) target exactly those objects.
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drbw/internal/alloc"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+)
+
+// ObjectCF is one data object's contribution to contention.
+type ObjectCF struct {
+	Object  alloc.Object
+	CF      float64
+	Samples float64 // weighted sample count behind the CF
+}
+
+// Report is the diagnoser output for one profiled run.
+type Report struct {
+	// Contended lists the channels the classifier flagged, in input order.
+	Contended []topology.Channel
+	// PerChannel ranks objects within each contended channel.
+	PerChannel map[topology.Channel][]ObjectCF
+	// Overall ranks objects across all contended channels (CF sums to 1
+	// together with UnattributedCF).
+	Overall []ObjectCF
+	// UnattributedCF is the fraction of contended-channel samples that hit
+	// no live heap object — static or stack data the profiler does not
+	// track (the paper leaves those to future work).
+	UnattributedCF float64
+}
+
+// Attributor resolves addresses to data objects: the live profiler passes
+// its *alloc.Heap; offline analysis passes a range table reconstructed from
+// a recorded object list.
+type Attributor interface {
+	// Lookup attributes addr to a live data object.
+	Lookup(addr uint64) (alloc.ObjectID, bool)
+	// Object returns the descriptor of an ID Lookup returned.
+	Object(id alloc.ObjectID) alloc.Object
+}
+
+// Analyze attributes the samples on the contended channels to heap objects.
+// weight scales kept samples to true counts (pebs.Collector.Weight).
+func Analyze(heap Attributor, samples []pebs.Sample, contended []topology.Channel, weight float64) *Report {
+	if weight <= 0 {
+		weight = 1
+	}
+	rep := &Report{
+		Contended:  append([]topology.Channel(nil), contended...),
+		PerChannel: make(map[topology.Channel][]ObjectCF),
+	}
+	want := make(map[topology.Channel]bool, len(contended))
+	for _, ch := range contended {
+		want[ch] = true
+	}
+
+	byChannel := pebs.Associate(samples)
+	totalAll := 0.0
+	totalByObj := map[alloc.ObjectID]float64{}
+	unattr := 0.0
+	for ch := range want {
+		chSamples := byChannel[ch]
+		if len(chSamples) == 0 {
+			continue
+		}
+		chTotal := float64(len(chSamples)) * weight
+		chByObj := map[alloc.ObjectID]float64{}
+		chUnattr := 0.0
+		for _, s := range chSamples {
+			if id, ok := heap.Lookup(s.Addr); ok {
+				chByObj[id] += weight
+				totalByObj[id] += weight
+			} else {
+				chUnattr += weight
+				unattr += weight
+			}
+		}
+		totalAll += chTotal
+		rep.PerChannel[ch] = rank(heap, chByObj, chTotal)
+	}
+	if totalAll > 0 {
+		rep.Overall = rank(heap, totalByObj, totalAll)
+		rep.UnattributedCF = unattr / totalAll
+	}
+	return rep
+}
+
+func rank(heap Attributor, byObj map[alloc.ObjectID]float64, total float64) []ObjectCF {
+	out := make([]ObjectCF, 0, len(byObj))
+	for id, n := range byObj {
+		out = append(out, ObjectCF{Object: heap.Object(id), CF: n / total, Samples: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CF != out[j].CF {
+			return out[i].CF > out[j].CF
+		}
+		return out[i].Object.ID < out[j].Object.ID
+	})
+	return out
+}
+
+// Top returns the highest-CF objects covering at least fraction `cover` of
+// the contended samples (and at least one object if any exist).
+func (r *Report) Top(cover float64) []ObjectCF {
+	var out []ObjectCF
+	acc := 0.0
+	for _, o := range r.Overall {
+		out = append(out, o)
+		acc += o.CF
+		if acc >= cover {
+			break
+		}
+	}
+	return out
+}
+
+// String renders the overall ranking like the paper's Figure 4 data.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "contended channels: ")
+	if len(r.Contended) == 0 {
+		b.WriteString("none\n")
+		return b.String()
+	}
+	for i, ch := range r.Contended {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ch.String())
+	}
+	b.WriteByte('\n')
+	for _, o := range r.Overall {
+		fmt.Fprintf(&b, "  CF %5.1f%%  %-20s %s\n", 100*o.CF, o.Object.Name, o.Object.Site)
+	}
+	if r.UnattributedCF > 0 {
+		fmt.Fprintf(&b, "  CF %5.1f%%  %-20s (static/stack data, not tracked)\n", 100*r.UnattributedCF, "<unattributed>")
+	}
+	return b.String()
+}

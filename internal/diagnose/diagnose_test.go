@@ -1,0 +1,177 @@
+package diagnose
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"drbw/internal/alloc"
+	"drbw/internal/cache"
+	"drbw/internal/memsim"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+)
+
+func setup(t *testing.T) (*alloc.Heap, []alloc.ObjectID) {
+	t.Helper()
+	as := memsim.NewAddressSpace(topology.Uniform(4, 2))
+	h := alloc.NewHeap(as, 0x10000000)
+	var ids []alloc.ObjectID
+	for _, name := range []string{"block", "points", "weights"} {
+		id, err := h.Malloc(name, 1<<20, alloc.Site{Func: "init", File: "main.c", Line: 10}, memsim.BindTo(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return h, ids
+}
+
+func memSample(h *alloc.Heap, obj alloc.ObjectID, off uint64, src, home topology.NodeID) pebs.Sample {
+	return pebs.Sample{
+		Addr: h.Addr(obj, off), Level: cache.MEM, Latency: 500,
+		SrcNode: src, HomeNode: home,
+	}
+}
+
+func TestCFPerChannel(t *testing.T) {
+	h, ids := setup(t)
+	ch := topology.Channel{Src: 1, Dst: 0}
+	var samples []pebs.Sample
+	for i := 0; i < 9; i++ {
+		samples = append(samples, memSample(h, ids[0], uint64(i*64), 1, 0))
+	}
+	for i := 0; i < 3; i++ {
+		samples = append(samples, memSample(h, ids[1], uint64(i*64), 1, 0))
+	}
+	// Samples on an unflagged channel must be ignored.
+	samples = append(samples, memSample(h, ids[2], 0, 2, 0))
+
+	rep := Analyze(h, samples, []topology.Channel{ch}, 1)
+	ranked := rep.PerChannel[ch]
+	if len(ranked) != 2 {
+		t.Fatalf("ranked %d objects, want 2", len(ranked))
+	}
+	if ranked[0].Object.Name != "block" || math.Abs(ranked[0].CF-0.75) > 1e-12 {
+		t.Errorf("top object %s CF %.3f, want block 0.75", ranked[0].Object.Name, ranked[0].CF)
+	}
+	if ranked[1].Object.Name != "points" || math.Abs(ranked[1].CF-0.25) > 1e-12 {
+		t.Errorf("second object %s CF %.3f, want points 0.25", ranked[1].Object.Name, ranked[1].CF)
+	}
+	// weights got no samples on the contended channel.
+	for _, o := range rep.Overall {
+		if o.Object.Name == "weights" {
+			t.Error("weights should not appear in the ranking")
+		}
+	}
+}
+
+func TestCFSumsToOneAcrossChannels(t *testing.T) {
+	h, ids := setup(t)
+	chans := []topology.Channel{{Src: 1, Dst: 0}, {Src: 2, Dst: 0}}
+	var samples []pebs.Sample
+	for i := 0; i < 6; i++ {
+		samples = append(samples, memSample(h, ids[0], uint64(i*64), 1, 0))
+	}
+	for i := 0; i < 4; i++ {
+		samples = append(samples, memSample(h, ids[1], uint64(i*64), 2, 0))
+	}
+	rep := Analyze(h, samples, chans, 1)
+	sum := rep.UnattributedCF
+	for _, o := range rep.Overall {
+		sum += o.CF
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("CF sum = %f, want 1", sum)
+	}
+	if rep.Overall[0].Object.Name != "block" || math.Abs(rep.Overall[0].CF-0.6) > 1e-12 {
+		t.Errorf("overall top %s %.2f, want block 0.6", rep.Overall[0].Object.Name, rep.Overall[0].CF)
+	}
+}
+
+func TestUnattributedSamples(t *testing.T) {
+	h, _ := setup(t)
+	ch := topology.Channel{Src: 1, Dst: 0}
+	samples := []pebs.Sample{
+		{Addr: 0x10, Level: cache.MEM, Latency: 400, SrcNode: 1, HomeNode: 0}, // static data
+		memSample(h, 0, 0, 1, 0),
+	}
+	rep := Analyze(h, samples, []topology.Channel{ch}, 1)
+	if math.Abs(rep.UnattributedCF-0.5) > 1e-12 {
+		t.Errorf("unattributed CF = %f, want 0.5", rep.UnattributedCF)
+	}
+	if !strings.Contains(rep.String(), "<unattributed>") {
+		t.Error("rendering should mention unattributed share")
+	}
+}
+
+func TestWeightScaling(t *testing.T) {
+	h, ids := setup(t)
+	ch := topology.Channel{Src: 1, Dst: 0}
+	samples := []pebs.Sample{memSample(h, ids[0], 0, 1, 0)}
+	rep := Analyze(h, samples, []topology.Channel{ch}, 20)
+	if rep.Overall[0].Samples != 20 {
+		t.Errorf("weighted samples = %f, want 20", rep.Overall[0].Samples)
+	}
+	if rep.Overall[0].CF != 1 {
+		t.Errorf("CF = %f, want 1 (weights cancel)", rep.Overall[0].CF)
+	}
+}
+
+func TestEmptyReport(t *testing.T) {
+	h, _ := setup(t)
+	rep := Analyze(h, nil, nil, 1)
+	if len(rep.Overall) != 0 || rep.UnattributedCF != 0 {
+		t.Error("empty input should give empty report")
+	}
+	if !strings.Contains(rep.String(), "none") {
+		t.Error("empty rendering should say none")
+	}
+}
+
+func TestLFBSamplesCountTowardCF(t *testing.T) {
+	h, ids := setup(t)
+	ch := topology.Channel{Src: 1, Dst: 0}
+	s := memSample(h, ids[0], 0, 1, 0)
+	s.Level = cache.LFB
+	rep := Analyze(h, []pebs.Sample{s}, []topology.Channel{ch}, 1)
+	if len(rep.Overall) != 1 {
+		t.Fatal("LFB sample on contended channel should be attributed")
+	}
+}
+
+func TestTopCoverage(t *testing.T) {
+	h, ids := setup(t)
+	ch := topology.Channel{Src: 1, Dst: 0}
+	var samples []pebs.Sample
+	counts := []int{60, 30, 10}
+	for oi, n := range counts {
+		for i := 0; i < n; i++ {
+			samples = append(samples, memSample(h, ids[oi], uint64(i*64), 1, 0))
+		}
+	}
+	rep := Analyze(h, samples, []topology.Channel{ch}, 1)
+	top := rep.Top(0.85)
+	if len(top) != 2 {
+		t.Fatalf("Top(0.85) returned %d objects, want 2 (0.6+0.3)", len(top))
+	}
+	if top[0].Object.Name != "block" {
+		t.Errorf("top object %s", top[0].Object.Name)
+	}
+	if got := rep.Top(0.1); len(got) != 1 {
+		t.Errorf("Top(0.1) returned %d, want 1", len(got))
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	h, ids := setup(t)
+	ch := topology.Channel{Src: 1, Dst: 0}
+	samples := []pebs.Sample{
+		memSample(h, ids[1], 0, 1, 0),
+		memSample(h, ids[0], 0, 1, 0),
+	}
+	rep := Analyze(h, samples, []topology.Channel{ch}, 1)
+	if rep.Overall[0].Object.ID > rep.Overall[1].Object.ID {
+		t.Error("equal CF should break ties by object ID")
+	}
+}

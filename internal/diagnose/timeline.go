@@ -1,0 +1,109 @@
+package diagnose
+
+import (
+	"math"
+	"strings"
+
+	"drbw/internal/pebs"
+)
+
+// Bucket is one time slice of a profiled run.
+type Bucket struct {
+	Start, End float64 // cycles
+	// Samples is the weighted sample count in the slice.
+	Samples float64
+	// RemoteSamples counts remote-DRAM samples.
+	RemoteSamples float64
+	// AvgRemoteLatency is the mean latency of the slice's remote samples
+	// (0 when there are none).
+	AvgRemoteLatency float64
+}
+
+// Timeline buckets a run's samples into n equal time slices — the
+// profiler-style view of *when* remote pressure happened (AMG's solve phase
+// lights up while init stays dark). weight scales kept samples to true
+// counts.
+func Timeline(samples []pebs.Sample, n int, weight float64) []Bucket {
+	if len(samples) == 0 || n <= 0 {
+		return nil
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		if s.Time < minT {
+			minT = s.Time
+		}
+		if s.Time > maxT {
+			maxT = s.Time
+		}
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+	span := maxT - minT
+	out := make([]Bucket, n)
+	lat := make([]float64, n)
+	for i := range out {
+		out[i].Start = minT + span*float64(i)/float64(n)
+		out[i].End = minT + span*float64(i+1)/float64(n)
+	}
+	for _, s := range samples {
+		i := int(float64(n) * (s.Time - minT) / span)
+		if i >= n {
+			i = n - 1
+		}
+		out[i].Samples += weight
+		if s.RemoteDRAM() {
+			out[i].RemoteSamples += weight
+			lat[i] += s.Latency * weight
+		}
+	}
+	for i := range out {
+		if out[i].RemoteSamples > 0 {
+			out[i].AvgRemoteLatency = lat[i] / out[i].RemoteSamples
+		}
+	}
+	return out
+}
+
+// sparkRunes are the eight sparkline levels.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders one rune per bucket, scaled to the peak of the chosen
+// metric. Buckets with no remote samples render as spaces.
+func Sparkline(buckets []Bucket, metric func(Bucket) float64) string {
+	if len(buckets) == 0 {
+		return ""
+	}
+	peak := 0.0
+	for _, b := range buckets {
+		if v := metric(b); v > peak {
+			peak = v
+		}
+	}
+	if peak == 0 {
+		return strings.Repeat(" ", len(buckets))
+	}
+	var sb strings.Builder
+	for _, b := range buckets {
+		v := metric(b)
+		if v <= 0 {
+			sb.WriteByte(' ')
+			continue
+		}
+		i := int(v / peak * float64(len(sparkRunes)))
+		if i >= len(sparkRunes) {
+			i = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[i])
+	}
+	return sb.String()
+}
+
+// RemoteLatencyMetric selects the per-bucket mean remote latency.
+func RemoteLatencyMetric(b Bucket) float64 { return b.AvgRemoteLatency }
+
+// RemoteTrafficMetric selects the per-bucket remote sample count.
+func RemoteTrafficMetric(b Bucket) float64 { return b.RemoteSamples }

@@ -1,0 +1,111 @@
+package dtree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonNode is the serialized form of one tree node.
+type jsonNode struct {
+	Leaf      bool      `json:"leaf"`
+	Class     int       `json:"class,omitempty"`
+	Feature   int       `json:"feature,omitempty"`
+	Threshold float64   `json:"threshold,omitempty"`
+	N         int       `json:"n,omitempty"`
+	Impurity  float64   `json:"impurity,omitempty"`
+	Left      *jsonNode `json:"left,omitempty"`
+	Right     *jsonNode `json:"right,omitempty"`
+}
+
+// jsonTree is the serialized form of a trained classifier.
+type jsonTree struct {
+	NumFeatures  int       `json:"num_features"`
+	NumClasses   int       `json:"num_classes"`
+	FeatureNames []string  `json:"feature_names,omitempty"`
+	ClassNames   []string  `json:"class_names,omitempty"`
+	Importance   []float64 `json:"importance,omitempty"`
+	Root         *jsonNode `json:"root"`
+}
+
+func encodeNode(n *node) *jsonNode {
+	if n == nil {
+		return nil
+	}
+	return &jsonNode{
+		Leaf: n.leaf, Class: n.class,
+		Feature: n.feature, Threshold: n.threshold,
+		N: n.n, Impurity: n.impurity,
+		Left: encodeNode(n.left), Right: encodeNode(n.right),
+	}
+}
+
+func decodeNode(j *jsonNode, numFeat int) (*node, error) {
+	if j == nil {
+		return nil, nil
+	}
+	n := &node{
+		leaf: j.Leaf, class: j.Class,
+		feature: j.Feature, threshold: j.Threshold,
+		n: j.N, impurity: j.Impurity,
+	}
+	if !n.leaf {
+		if n.feature < 0 || n.feature >= numFeat {
+			return nil, fmt.Errorf("dtree: split on feature %d of %d", n.feature, numFeat)
+		}
+		var err error
+		if n.left, err = decodeNode(j.Left, numFeat); err != nil {
+			return nil, err
+		}
+		if n.right, err = decodeNode(j.Right, numFeat); err != nil {
+			return nil, err
+		}
+		if n.left == nil || n.right == nil {
+			return nil, fmt.Errorf("dtree: internal node missing a child")
+		}
+	}
+	return n, nil
+}
+
+// MarshalJSON serializes the trained tree, including the names needed to
+// render it after loading.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	jt := jsonTree{
+		NumFeatures: t.numFeat,
+		NumClasses:  t.numClass,
+		Importance:  t.importance,
+		Root:        encodeNode(t.root),
+	}
+	if t.ds != nil {
+		jt.FeatureNames = t.ds.FeatureNames
+		jt.ClassNames = t.ds.ClassNames
+	}
+	return json.Marshal(jt)
+}
+
+// UnmarshalJSON restores a tree serialized by MarshalJSON. The restored
+// tree predicts and renders identically; it carries no training examples.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var jt jsonTree
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return fmt.Errorf("dtree: %w", err)
+	}
+	if jt.Root == nil {
+		return fmt.Errorf("dtree: serialized tree has no root")
+	}
+	if jt.NumFeatures <= 0 {
+		return fmt.Errorf("dtree: serialized tree has %d features", jt.NumFeatures)
+	}
+	root, err := decodeNode(jt.Root, jt.NumFeatures)
+	if err != nil {
+		return err
+	}
+	t.numFeat = jt.NumFeatures
+	t.numClass = jt.NumClasses
+	t.importance = jt.Importance
+	if t.importance == nil {
+		t.importance = make([]float64, jt.NumFeatures)
+	}
+	t.root = root
+	t.ds = &Dataset{FeatureNames: jt.FeatureNames, ClassNames: jt.ClassNames}
+	return nil
+}

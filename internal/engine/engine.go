@@ -1,0 +1,729 @@
+// Package engine executes simulated workloads on a simulated NUMA machine
+// and produces execution times, channel traffic and PEBS samples.
+//
+// The engine uses a two-stage hybrid simulation:
+//
+//  1. Window simulation. For each phase, every thread's access stream is
+//     driven through the cache hierarchy for a bounded, representative
+//     window (threads interleaved round-robin, so the shared L3 and the
+//     first-touch page resolution see concurrent behaviour). The window
+//     yields each thread's steady-state access profile: the fraction of
+//     accesses served by each memory layer, and the DRAM traffic it pushes
+//     over each directed channel. A uniform reservoir of concrete access
+//     records is kept per thread for sample generation.
+//
+//  2. Closed-loop integration. Each thread has an unloaded issue rate set
+//     by its profile, compute work and memory-level parallelism. The offered
+//     load on each directed channel follows from those rates; a channel
+//     oversubscribed by a factor u > 1 caps the throughput of every flow
+//     crossing it at 1/u (fair share), and — by Little's law for a closed
+//     system with fixed MLP — inflates the effective DRAM latency of those
+//     flows by ~u. Integration is event-driven over thread completions,
+//     since the contention state only changes when a thread finishes. This
+//     is where bandwidth contention lives: a saturated channel inflates the
+//     latency of every remote access travelling it — the exact signal
+//     (features 6/7 of the paper) DR-BW's classifier learns.
+//
+// A remote access consumes two resources in series — the inter-socket link
+// S→T and the target node's memory controller T — so both utilizations
+// throttle it and both queueing terms add to its latency. This reproduces
+// the paper's observation that contention can arise in any interconnect
+// channel or controller, and that interleaving helps by spreading controller
+// load even though it adds link hops.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"drbw/internal/cache"
+	"drbw/internal/memsim"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+// Config tunes the simulation fidelity.
+type Config struct {
+	// Window is the number of representative accesses simulated per thread
+	// per phase (after warmup). <= 0 uses 24576.
+	Window int
+	// Warmup accesses are driven through the caches but not profiled.
+	// < 0 uses Window/4.
+	Warmup int
+	// ReservoirSize is the number of concrete access records kept per
+	// thread for sample generation. <= 0 uses 2048.
+	ReservoirSize int
+	// QueueCoeff scales the sub-saturation queueing-delay ramp. <= 0 uses 1.
+	QueueCoeff float64
+	// MaxEpochs guards against non-termination. <= 0 uses 200000.
+	MaxEpochs int
+	// Seed drives all randomness (window interleaving jitter, reservoirs,
+	// sample noise).
+	Seed uint64
+	// Collector, when non-nil, enables profiling: PEBS samples are emitted
+	// and the per-sample overhead is charged to the sampled thread.
+	Collector *pebs.Collector
+	// SamplerFlavor is advisory: pipelines that construct their own
+	// collectors per run (training collection, detection) copy it into
+	// their collector configs. The engine itself reads the flavor from the
+	// Collector.
+	SamplerFlavor pebs.Flavor
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 24576
+	}
+	if c.Warmup < 0 {
+		c.Warmup = c.Window / 4
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Window / 4
+	}
+	if c.ReservoirSize <= 0 {
+		c.ReservoirSize = 2048
+	}
+	if c.QueueCoeff <= 0 {
+		c.QueueCoeff = 1
+	}
+	if c.MaxEpochs <= 0 {
+		c.MaxEpochs = 200000
+	}
+	return c
+}
+
+// Binding maps thread IDs to the hardware threads they are pinned on.
+type Binding []topology.CPUID
+
+// EvenBinding pins t threads across n nodes the way the paper's Tt-Nn
+// configurations do: threads are divided evenly among the first n nodes and
+// bound to consecutive cores of their node; hardware threads of a core are
+// used only after every core of the node has one thread.
+func EvenBinding(m *topology.Machine, threads, nodes int) (Binding, error) {
+	if nodes <= 0 || nodes > m.Nodes() {
+		return nil, fmt.Errorf("engine: %d nodes requested on a %d-node machine", nodes, m.Nodes())
+	}
+	if threads <= 0 || threads%nodes != 0 {
+		return nil, fmt.Errorf("engine: %d threads do not divide evenly among %d nodes", threads, nodes)
+	}
+	per := threads / nodes
+	bind := make(Binding, 0, threads)
+	for n := 0; n < nodes; n++ {
+		cpus := m.CPUsOfNode(topology.NodeID(n))
+		if per > len(cpus) {
+			return nil, fmt.Errorf("engine: %d threads per node exceed %d hardware threads", per, len(cpus))
+		}
+		// CPUsOfNode is sorted: physical cores first, then HT siblings.
+		for i := 0; i < per; i++ {
+			bind = append(bind, cpus[i])
+		}
+	}
+	return bind, nil
+}
+
+// ChannelStats aggregates one channel over a phase.
+type ChannelStats struct {
+	Bytes    float64 // total bytes carried
+	PeakUtil float64 // highest epoch utilization
+	AvgUtil  float64 // time-weighted mean utilization
+}
+
+// PhaseResult reports one executed phase.
+type PhaseResult struct {
+	Name   string
+	Cycles float64 // wall-clock cycles (slowest thread)
+	// ThreadCycles is each thread's completion time.
+	ThreadCycles []float64
+	Channels     map[topology.Channel]ChannelStats
+	// LocalDRAMAccesses / RemoteDRAMAccesses are estimated true totals (not
+	// sample counts).
+	LocalDRAMAccesses  float64
+	RemoteDRAMAccesses float64
+	// AvgDRAMLatency is the demand-weighted mean effective DRAM latency.
+	AvgDRAMLatency float64
+}
+
+// Result reports a full run.
+type Result struct {
+	Phases []PhaseResult
+	Cycles float64
+}
+
+// Channel returns merged stats for ch across all phases.
+func (r *Result) Channel(ch topology.Channel) ChannelStats {
+	var out ChannelStats
+	var cycles float64
+	for _, p := range r.Phases {
+		s := p.Channels[ch]
+		out.Bytes += s.Bytes
+		if s.PeakUtil > out.PeakUtil {
+			out.PeakUtil = s.PeakUtil
+		}
+		out.AvgUtil += s.AvgUtil * p.Cycles
+		cycles += p.Cycles
+	}
+	if cycles > 0 {
+		out.AvgUtil /= cycles
+	}
+	return out
+}
+
+// RemoteDRAMAccesses sums the estimated remote access totals of all phases.
+func (r *Result) RemoteDRAMAccesses() float64 {
+	var t float64
+	for _, p := range r.Phases {
+		t += p.RemoteDRAMAccesses
+	}
+	return t
+}
+
+// LocalDRAMAccesses sums the estimated local access totals of all phases.
+func (r *Result) LocalDRAMAccesses() float64 {
+	var t float64
+	for _, p := range r.Phases {
+		t += p.LocalDRAMAccesses
+	}
+	return t
+}
+
+// AvgDRAMLatency returns the demand-weighted mean DRAM latency of the run.
+func (r *Result) AvgDRAMLatency() float64 {
+	var w, acc float64
+	for _, p := range r.Phases {
+		d := p.LocalDRAMAccesses + p.RemoteDRAMAccesses
+		acc += p.AvgDRAMLatency * d
+		w += d
+	}
+	if w == 0 {
+		return 0
+	}
+	return acc / w
+}
+
+// Engine runs workloads on one machine + address space.
+type Engine struct {
+	machine *topology.Machine
+	space   *memsim.AddressSpace
+	hier    *cache.Hierarchy
+	cfg     Config
+}
+
+// New builds an engine. hcfg selects the cache geometry (zero value =
+// E5-4650 defaults).
+func New(m *topology.Machine, as *memsim.AddressSpace, hcfg cache.Config, cfg Config) (*Engine, error) {
+	h, err := cache.NewHierarchy(m, hcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{machine: m, space: as, hier: h, cfg: cfg.withDefaults()}, nil
+}
+
+// Machine returns the engine's machine.
+func (e *Engine) Machine() *topology.Machine { return e.machine }
+
+// Space returns the engine's address space.
+func (e *Engine) Space() *memsim.AddressSpace { return e.space }
+
+// record is one reservoir entry from the window simulation.
+type record struct {
+	addr  uint64
+	level cache.Level
+	home  topology.NodeID
+	write bool
+}
+
+// profile is a thread's steady-state access profile.
+type profile struct {
+	total float64
+	// fLevel[cache.L1..] are fractions of accesses served per layer
+	// (prefetched accesses count under LFB).
+	fLevel [5]float64
+	// memFrac[pair] is the fraction of accesses served by DRAM of pair.Dst
+	// issued from pair.Src (always the thread's node).
+	memFrac map[topology.Channel]float64
+	// lfbFrac[pair] is the fraction of LFB-served accesses whose line homes
+	// on pair.Dst.
+	lfbFrac map[topology.Channel]float64
+	// traffic[ch] is lines-per-access crossing physical channel ch (remote
+	// accesses contribute to both the link and the target controller).
+	traffic   map[topology.Channel]float64
+	reservoir []record
+}
+
+// Run executes phases with the given thread binding. Every phase must have
+// exactly len(bind) thread specs.
+func (e *Engine) Run(phases []trace.Phase, bind Binding) (*Result, error) {
+	if len(bind) == 0 {
+		return nil, fmt.Errorf("engine: empty binding")
+	}
+	for _, cpu := range bind {
+		if e.machine.NodeOfCPU(cpu) == topology.InvalidNode {
+			return nil, fmt.Errorf("engine: binding references invalid CPU %d", cpu)
+		}
+	}
+	res := &Result{}
+	now := 0.0
+	rng := rand.New(rand.NewSource(int64(e.cfg.Seed) ^ 0x51ed2701))
+	for pi, ph := range phases {
+		if len(ph.Threads) != len(bind) {
+			return nil, fmt.Errorf("engine: phase %q has %d threads, binding has %d", ph.Name, len(ph.Threads), len(bind))
+		}
+		pr, err := e.runPhase(ph, bind, now, rng, uint64(pi))
+		if err != nil {
+			return nil, fmt.Errorf("engine: phase %q: %w", ph.Name, err)
+		}
+		now += pr.Cycles
+		res.Phases = append(res.Phases, *pr)
+	}
+	res.Cycles = now
+	return res, nil
+}
+
+func (e *Engine) runPhase(ph trace.Phase, bind Binding, start float64, rng *rand.Rand, phaseIdx uint64) (*PhaseResult, error) {
+	profiles, err := e.window(ph, bind, rng, phaseIdx)
+	if err != nil {
+		return nil, err
+	}
+	return e.integrate(ph, bind, profiles, start, rng)
+}
+
+// window drives every thread's stream through the caches and builds
+// profiles.
+func (e *Engine) window(ph trace.Phase, bind Binding, rng *rand.Rand, phaseIdx uint64) ([]*profile, error) {
+	e.hier.Flush()
+	n := len(bind)
+	profiles := make([]*profile, n)
+	streams := make([]trace.Stream, n)
+	active := make([]bool, n)
+	for i, spec := range ph.Threads {
+		profiles[i] = &profile{
+			memFrac: make(map[topology.Channel]float64),
+			lfbFrac: make(map[topology.Channel]float64),
+			traffic: make(map[topology.Channel]float64),
+		}
+		if spec.Stream != nil && spec.Ops > 0 {
+			streams[i] = spec.Stream
+			streams[i].Reset(e.cfg.Seed + phaseIdx*1315423911 + uint64(i))
+			active[i] = true
+		}
+	}
+
+	total := e.cfg.Warmup + e.cfg.Window
+	// counts are accumulated as integers during the walk for speed.
+	type counts struct {
+		total    int
+		level    [5]int
+		mem, lfb map[topology.Channel]int
+		traffic  map[topology.Channel]int
+		seen     int // post-warmup accesses observed (reservoir index)
+	}
+	cs := make([]*counts, n)
+	for i := range cs {
+		cs[i] = &counts{
+			mem:     make(map[topology.Channel]int),
+			lfb:     make(map[topology.Channel]int),
+			traffic: make(map[topology.Channel]int),
+		}
+	}
+
+	// Round-robin interleave so the shared L3 and first-touch resolution see
+	// concurrent access. Each turn advances one access per active thread.
+	for step := 0; step < total; step++ {
+		warm := step < e.cfg.Warmup
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			a, ok := streams[i].Next()
+			if !ok {
+				streams[i].Reset(e.cfg.Seed ^ (uint64(step+1) * 2654435761) ^ uint64(i))
+				a, ok = streams[i].Next()
+				if !ok {
+					return nil, fmt.Errorf("thread %d stream produced no accesses", i)
+				}
+			}
+			cpu := bind[i]
+			node := e.machine.NodeOfCPU(cpu)
+			r := e.hier.Access(cpu, a.Addr)
+			home := node
+			if r.Level == cache.MEM || r.Level == cache.LFB {
+				home = e.space.HomeFor(a.Addr, node)
+				if home == topology.InvalidNode {
+					home = node
+				}
+			}
+			if warm {
+				continue
+			}
+			c := cs[i]
+			c.total++
+			c.level[r.Level]++
+			pair := topology.Channel{Src: node, Dst: home}
+			switch r.Level {
+			case cache.MEM:
+				c.mem[pair]++
+			case cache.LFB:
+				c.lfb[pair]++
+			}
+			if r.DRAMTraffic {
+				if pair.Local() {
+					c.traffic[pair]++
+				} else {
+					c.traffic[pair]++
+					c.traffic[topology.Channel{Src: home, Dst: home}]++
+				}
+			}
+			// Uniform reservoir of concrete records.
+			p := profiles[i]
+			c.seen++
+			rec := record{addr: a.Addr, level: r.Level, home: home, write: a.Write}
+			if len(p.reservoir) < e.cfg.ReservoirSize {
+				p.reservoir = append(p.reservoir, rec)
+			} else if j := rng.Intn(c.seen); j < e.cfg.ReservoirSize {
+				p.reservoir[j] = rec
+			}
+		}
+	}
+
+	for i, c := range cs {
+		p := profiles[i]
+		if c.total == 0 {
+			continue
+		}
+		tf := float64(c.total)
+		p.total = tf
+		for l := 0; l < 5; l++ {
+			p.fLevel[l] = float64(c.level[l]) / tf
+		}
+		for ch, v := range c.mem {
+			p.memFrac[ch] = float64(v) / tf
+		}
+		for ch, v := range c.lfb {
+			p.lfbFrac[ch] = float64(v) / tf
+		}
+		for ch, v := range c.traffic {
+			p.traffic[ch] = float64(v) / tf
+		}
+	}
+	return profiles, nil
+}
+
+// pairBaseLatency returns the unloaded DRAM latency for a (src,dst) pair.
+func (e *Engine) pairBaseLatency(pair topology.Channel) float64 {
+	lat := e.machine.Latencies()
+	if pair.Local() {
+		return lat.LocalDRAM
+	}
+	return lat.RemoteDRAM
+}
+
+// lfbBaseLatency is the unloaded cost of an access served by a line fill
+// buffer whose line is in flight from pair's DRAM: the configured LFB wait,
+// scaled up when the line crosses a socket — a remote fill takes longer to
+// arrive, so the buffered demand load waits proportionally longer.
+func (e *Engine) lfbBaseLatency(pair topology.Channel) float64 {
+	lat := e.machine.Latencies()
+	return lat.LFB * e.pairBaseLatency(pair) / lat.LocalDRAM
+}
+
+// inflation maps a channel's offered utilization to a latency multiplier.
+// Below saturation it is a gentle queueing ramp; past saturation the queue
+// grows with the oversubscription factor (a closed system with fixed MLP has
+// latency proportional to offered/serviced load — Little's law). QueueCoeff
+// scales the sub-saturation ramp.
+func (e *Engine) inflation(u float64) float64 {
+	k := e.cfg.QueueCoeff
+	switch {
+	case u <= 0:
+		return 1
+	case u <= 0.7:
+		return 1 + k*0.45*u
+	case u <= 1:
+		d := u - 0.7
+		return 1 + k*(0.45*u+5.5*d*d)
+	default:
+		return 1 + k*(0.45+5.5*0.09) + (u - 1)
+	}
+}
+
+// pairInflation combines the link and target-controller pressure of a
+// (src,dst) pair: the binding (most loaded) resource dominates the queue.
+func (e *Engine) pairInflation(pair topology.Channel, util map[topology.Channel]float64) float64 {
+	u := util[topology.Channel{Src: pair.Dst, Dst: pair.Dst}]
+	if !pair.Local() {
+		if lu := util[pair]; lu > u {
+			u = lu
+		}
+	}
+	return e.inflation(u)
+}
+
+// pairLatency is the effective DRAM latency of a pair under the current
+// offered utilizations.
+func (e *Engine) pairLatency(pair topology.Channel, util map[topology.Channel]float64) float64 {
+	return e.pairBaseLatency(pair) * e.pairInflation(pair, util)
+}
+
+// integrate advances the phase over time epochs until every thread finishes.
+func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, start float64, rng *rand.Rand) (*PhaseResult, error) {
+	n := len(bind)
+	lat := e.machine.Latencies()
+	remaining := make([]float64, n)
+	finish := make([]float64, n)
+	sampleAcc := make([]float64, n)
+	anyWork := false
+	mlp := make([]float64, n)
+	for i, spec := range ph.Threads {
+		remaining[i] = spec.Ops
+		if spec.Ops > 0 && profiles[i].total > 0 {
+			anyWork = true
+		}
+		switch {
+		case spec.MLP == 0:
+			mlp[i] = 1 // unset: a single outstanding miss
+		case spec.MLP < 1:
+			return nil, fmt.Errorf("thread %d MLP %g < 1", i, spec.MLP)
+		default:
+			mlp[i] = spec.MLP
+		}
+	}
+	pr := &PhaseResult{
+		Name:         ph.Name,
+		ThreadCycles: make([]float64, n),
+		Channels:     make(map[topology.Channel]ChannelStats),
+	}
+	if !anyWork {
+		return pr, nil
+	}
+
+	lineSize := float64(e.machine.LineSize())
+	perSampleOverhead := 0.0
+	period := 0.0
+	ibs := false
+	if e.cfg.Collector != nil {
+		period = float64(e.cfg.Collector.Period())
+		perSampleOverhead = e.cfg.Collector.OverheadCycles()
+		ibs = e.cfg.Collector.Flavor() == pebs.IBS
+	}
+
+	// Threads sharing a physical core contend for issue slots; compute-bound
+	// work degrades with SMT sharing while memory stalls overlap freely.
+	coreLoad := make(map[topology.CoreID]float64)
+	for i := range bind {
+		if ph.Threads[i].Ops > 0 && profiles[i].total > 0 {
+			coreLoad[e.machine.CoreOfCPU(bind[i])]++
+		}
+	}
+
+	// Unloaded issue rate of each thread (accesses/cycle): constant per
+	// phase because the profile is steady-state.
+	r0 := make([]float64, n)
+	for i := range r0 {
+		if remaining[i] <= 0 || profiles[i].total == 0 {
+			continue
+		}
+		p := profiles[i]
+		spec := ph.Threads[i]
+		memLat := 0.0
+		for pair, f := range p.memFrac {
+			memLat += f * e.pairBaseLatency(pair)
+		}
+		for pair, f := range p.lfbFrac {
+			memLat += f * e.lfbBaseLatency(pair)
+		}
+		cacheLat := p.fLevel[cache.L1]*lat.L1 + p.fLevel[cache.L2]*lat.L2 + p.fLevel[cache.L3]*lat.L3
+		per := spec.WorkCycles*coreLoad[e.machine.CoreOfCPU(bind[i])] + (cacheLat+memLat)/mlp[i]
+		if per <= 0 {
+			per = 0.1
+		}
+		r0[i] = 1 / per
+	}
+
+	now := 0.0
+	var dramAccAcc, dramLatAcc float64
+	util := make(map[topology.Channel]float64)
+
+	for epoch := 0; epoch < e.cfg.MaxEpochs; epoch++ {
+		// Offered utilization from the unthrottled rates of running threads.
+		for ch := range util {
+			delete(util, ch)
+		}
+		running := false
+		for i := range r0 {
+			if remaining[i] <= 0 || r0[i] == 0 {
+				continue
+			}
+			running = true
+			for ch, f := range profiles[i].traffic {
+				util[ch] += r0[i] * f * lineSize / e.machine.Bandwidth(ch)
+			}
+		}
+		if !running {
+			break
+		}
+		// Fair-share throughput: every flow crossing an oversubscribed
+		// channel is scaled by the worst oversubscription it crosses, which
+		// brings each channel to at most its capacity.
+		eff := make([]float64, n)
+		for i := range r0 {
+			if remaining[i] <= 0 || r0[i] == 0 {
+				continue
+			}
+			worst := 1.0
+			for ch, f := range profiles[i].traffic {
+				if f <= 1e-9 {
+					continue
+				}
+				if u := util[ch]; u > worst {
+					worst = u
+				}
+			}
+			eff[i] = r0[i] / worst
+			// A sample stalls the core for the assist+drain cost; the
+			// stall steals wall-clock time even from bandwidth-capped
+			// threads (the channel idles while the core is stopped), so it
+			// applies after the throughput cap. IBS counts micro-ops, so
+			// compute-heavy threads take proportionally more interrupts
+			// than PEBS would for the same memory traffic.
+			if period > 0 && perSampleOverhead > 0 {
+				opsPerAccess := 1.0
+				if ibs {
+					opsPerAccess += ph.Threads[i].WorkCycles
+				}
+				stall := perSampleOverhead * opsPerAccess * eff[i] / period
+				if stall > 0.5 {
+					stall = 0.5
+				}
+				eff[i] *= 1 - stall
+			}
+		}
+
+		// Run until the next thread completes (contention state is constant
+		// in between).
+		dt := math.Inf(1)
+		for i := range eff {
+			if eff[i] > 0 && remaining[i] > 0 {
+				if est := remaining[i] / eff[i]; est < dt {
+					dt = est
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			break
+		}
+
+		// Advance and account.
+		for i := range eff {
+			if eff[i] == 0 || remaining[i] <= 0 {
+				continue
+			}
+			done := eff[i] * dt
+			if done >= remaining[i]-1e-9 {
+				done = remaining[i]
+				finish[i] = now + dt
+			}
+			remaining[i] -= done
+			p := profiles[i]
+			for ch, f := range p.traffic {
+				s := pr.Channels[ch]
+				s.Bytes += done * f * lineSize
+				pr.Channels[ch] = s
+			}
+			for pair, f := range p.memFrac {
+				cnt := done * f
+				l := e.pairLatency(pair, util)
+				dramAccAcc += cnt
+				dramLatAcc += cnt * l
+				if pair.Local() {
+					pr.LocalDRAMAccesses += cnt
+				} else {
+					pr.RemoteDRAMAccesses += cnt
+				}
+			}
+			// PEBS sampling for this thread.
+			if period > 0 && len(p.reservoir) > 0 {
+				sampleAcc[i] += done
+				for sampleAcc[i] >= period {
+					sampleAcc[i] -= period
+					rec := p.reservoir[rng.Intn(len(p.reservoir))]
+					e.emitSample(i, bind[i], rec, start+now+rng.Float64()*dt, util, rng)
+				}
+			}
+		}
+		for ch, u := range util {
+			s := pr.Channels[ch]
+			if u > s.PeakUtil {
+				s.PeakUtil = u
+			}
+			s.AvgUtil += u * dt // normalized at the end
+			pr.Channels[ch] = s
+		}
+		now += dt
+	}
+
+	pr.Cycles = 0.0
+	for i := range finish {
+		if finish[i] == 0 && ph.Threads[i].Ops > 0 && profiles[i].total > 0 {
+			finish[i] = now // ran until the epoch guard
+		}
+		pr.ThreadCycles[i] = finish[i]
+		if finish[i] > pr.Cycles {
+			pr.Cycles = finish[i]
+		}
+	}
+	if pr.Cycles > 0 {
+		for ch, s := range pr.Channels {
+			s.AvgUtil /= pr.Cycles
+			pr.Channels[ch] = s
+		}
+	}
+	if dramAccAcc > 0 {
+		pr.AvgDRAMLatency = dramLatAcc / dramAccAcc
+	}
+	return pr, nil
+}
+
+// emitSample synthesizes one PEBS sample from a reservoir record under the
+// current contention state.
+func (e *Engine) emitSample(thread int, cpu topology.CPUID, rec record, t float64, util map[topology.Channel]float64, rng *rand.Rand) {
+	lat := e.machine.Latencies()
+	node := e.machine.NodeOfCPU(cpu)
+	pair := topology.Channel{Src: node, Dst: rec.home}
+	var l float64
+	switch rec.level {
+	case cache.L1:
+		l = lat.L1
+	case cache.L2:
+		l = lat.L2
+	case cache.L3:
+		l = lat.L3
+	case cache.LFB:
+		l = e.lfbBaseLatency(pair) * e.pairInflation(pair, util)
+	case cache.MEM:
+		l = e.pairLatency(pair, util)
+	}
+	// Measurement noise: PEBS's dedicated latency counter carries ±20%
+	// pipeline-induced spread; IBS derives load timing from tagged-op
+	// retirement and spreads wider.
+	if e.cfg.Collector.Flavor() == pebs.IBS {
+		l *= 0.65 + 0.7*rng.Float64()
+	} else {
+		l *= 0.8 + 0.4*rng.Float64()
+	}
+	s := pebs.Sample{
+		Time:    t,
+		CPU:     cpu,
+		Thread:  thread,
+		Addr:    rec.addr,
+		Level:   rec.level,
+		Latency: l,
+		Write:   rec.write,
+	}
+	pebs.Resolve(&s, e.machine, e.space)
+	// The engine knows the true serving node (replicas resolve locally); the
+	// profiler's page-table view may disagree for replicated regions, which
+	// is faithful to the real tool. Keep the profiler's view.
+	e.cfg.Collector.Add(s)
+}

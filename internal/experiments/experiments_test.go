@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	ctxOnce sync.Once
+	testCtx *Context
+	ctxErr  error
+)
+
+// quickCtx trains once per test binary.
+func quickCtx(t *testing.T) *Context {
+	t.Helper()
+	ctxOnce.Do(func() { testCtx, ctxErr = NewContext(true, 2) })
+	if ctxErr != nil {
+		t.Fatal(ctxErr)
+	}
+	return testCtx
+}
+
+func TestTableFormatter(t *testing.T) {
+	tb := &table{header: []string{"a", "long-header"}}
+	tb.add("x", "1")
+	tb.add("longer-cell", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table rendered %d lines:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[1]) || len(lines[1]) != len(lines[2]) {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f2(1.2345) != "1.23" || pct(0.123) != "12.3%" || itoa(7) != "7" ||
+		spd(2.5) != "2.50x" || f0(3.7) != "4" {
+		t.Error("format helpers wrong")
+	}
+}
+
+func TestTrainingSections(t *testing.T) {
+	c := quickCtx(t)
+	if !strings.Contains(c.TableI(), "remote") {
+		t.Error("Table I missing remote features")
+	}
+	t2 := c.TableII()
+	if !strings.Contains(t2, "sumv") || !strings.Contains(t2, "bandit") {
+		t.Errorf("Table II incomplete:\n%s", t2)
+	}
+	body, acc, err := c.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("CV accuracy %.2f", acc)
+	}
+	if !strings.Contains(body, "confusion") {
+		t.Errorf("Table III rendering:\n%s", body)
+	}
+	fig3 := c.Fig3()
+	if !strings.Contains(fig3, "decision tree") || !strings.Contains(fig3, "#") {
+		t.Errorf("Fig 3 rendering:\n%s", fig3)
+	}
+}
+
+func TestQuickSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation sweep is slow")
+	}
+	c := quickCtx(t)
+	ev, err := c.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Summaries) != 21 {
+		t.Fatalf("%d Table V benchmarks, want 21", len(ev.Summaries))
+	}
+	_, stats := c.TableVI(ev)
+	if stats.FNR > 0.01 {
+		t.Errorf("false negative rate %.1f%%; paper reports 0%%", 100*stats.FNR)
+	}
+	if stats.Correctness < 0.85 {
+		t.Errorf("correctness %.1f%%", 100*stats.Correctness)
+	}
+	// The headline contended benchmarks must be detected.
+	for _, s := range ev.Summaries {
+		switch s.Name {
+		case "Streamcluster", "AMG2006", "IRSmk":
+			if s.Detected == 0 {
+				t.Errorf("%s never detected", s.Name)
+			}
+		case "Swaptions", "Blackscholes", "EP":
+			if s.Detected != 0 {
+				t.Errorf("%s detected %d times", s.Name, s.Detected)
+			}
+		}
+	}
+	tableV := c.TableV(ev)
+	if !strings.Contains(tableV, "Streamcluster") {
+		t.Error("Table V missing rows")
+	}
+	tableIV, err := c.TableIV(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tableIV, "rmc") {
+		t.Error("Table IV missing classes")
+	}
+}
+
+func TestTableVII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement is slow")
+	}
+	c := quickCtx(t)
+	body, avg, err := c.TableVII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg < -0.02 || avg > 0.12 {
+		t.Errorf("average overhead %.1f%% outside the paper's band", 100*avg)
+	}
+	if !strings.Contains(body, "LULESH") {
+		t.Error("Table VII missing rows")
+	}
+}
+
+func TestFig4ReproducesRankings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnosis runs are slow")
+	}
+	c := quickCtx(t)
+	body, err := c.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AMG's ranking must start with RAP_diag_j; streamcluster's with block.
+	iRAP := strings.Index(body, "RAP_diag_j")
+	iDiag := strings.Index(body, "diag_j ") // trailing space avoids RAP_diag_j
+	if iRAP < 0 || iDiag < 0 || iRAP > iDiag {
+		t.Errorf("AMG CF order wrong in:\n%s", body)
+	}
+	if !strings.Contains(body, "block") {
+		t.Errorf("streamcluster block missing:\n%s", body)
+	}
+	if !strings.Contains(body, "<static/stack>") {
+		t.Errorf("LULESH static share missing:\n%s", body)
+	}
+}
+
+func TestMaskDataset(t *testing.T) {
+	c := quickCtx(t)
+	ds := maskDataset(c.Training.Dataset, []int{6, 7})
+	if len(ds.Examples) != len(c.Training.Dataset.Examples) {
+		t.Fatal("mask changed example count")
+	}
+	if len(ds.Examples[0].X) != 2 {
+		t.Fatalf("masked width %d", len(ds.Examples[0].X))
+	}
+	if len(ds.FeatureNames) != 2 || !strings.Contains(ds.FeatureNames[0], "remote") {
+		t.Errorf("masked names %v", ds.FeatureNames)
+	}
+}

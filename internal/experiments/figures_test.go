@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"drbw/internal/program"
+	"drbw/internal/workloads"
+)
+
+func TestFiguresRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are slow")
+	}
+	c := quickCtx(t)
+
+	fig5, err := c.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig5, "init") || !strings.Contains(fig5, "solve") {
+		t.Errorf("Fig5 missing phases:\n%s", fig5)
+	}
+	fig6, err := c.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig6, "medium mesh") || !strings.Contains(fig6, "co-locate") {
+		t.Errorf("Fig6 incomplete:\n%s", fig6)
+	}
+	fig7, err := c.Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig7, "replicate") || !strings.Contains(fig7, "native") {
+		t.Errorf("Fig7 incomplete:\n%s", fig7)
+	}
+	fig8, err := c.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig8, "T16-N4") {
+		t.Errorf("Fig8 incomplete:\n%s", fig8)
+	}
+}
+
+func TestCaseStudiesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case studies are slow")
+	}
+	c := quickCtx(t)
+	sp, err := c.SPStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sp, "static") {
+		t.Errorf("SP study missing the static-data note:\n%s", sp)
+	}
+	bs, err := c.BlackscholesStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bs, "false") {
+		t.Errorf("blackscholes should never be detected:\n%s", bs)
+	}
+	llc, err := c.LLCStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(llc, "thrash") || !strings.Contains(llc, "CV accuracy") {
+		t.Errorf("LLC study incomplete:\n%s", llc)
+	}
+}
+
+func TestBaselineStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline study is slow")
+	}
+	c := quickCtx(t)
+	out, err := c.BaselineStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"AMG2006", "object rules", "page coverage", "n/a*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("baseline study missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheapAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	c := quickCtx(t)
+	feats, err := c.AblationFeatures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(feats, "Table I") {
+		t.Errorf("feature ablation incomplete:\n%s", feats)
+	}
+	depth, err := c.AblationTreeDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(depth, "leaves") {
+		t.Errorf("depth ablation incomplete:\n%s", depth)
+	}
+	pf, err := c.AblationPrefetcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The random-access case must be prefetch-immune; detection never flips.
+	if !strings.Contains(pf, "Streamcluster") {
+		t.Errorf("prefetcher ablation incomplete:\n%s", pf)
+	}
+	gran, err := c.AblationChannelGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gran, "agreement with ground truth") {
+		t.Errorf("granularity ablation incomplete:\n%s", gran)
+	}
+}
+
+// TestAllContendedBenchmarksDetected guards the paper's headline property
+// at the benchmark level: every Table IV rmc benchmark must be detected at
+// its densest configuration — including LULESH, which Table V's sweep
+// does not cover.
+func TestAllContendedBenchmarksDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detection runs are slow")
+	}
+	c := quickCtx(t)
+	cases := []struct {
+		name, input string
+	}{
+		{"Streamcluster", "native"},
+		{"AMG2006", "30x30x30"},
+		{"IRSmk", "large"},
+		{"NW", "large"},
+		{"SP", "C"},
+		{"LULESH", "large"},
+	}
+	for i, cs := range cases {
+		e, ok := workloads.ByName(cs.name)
+		if !ok {
+			t.Fatalf("missing %s", cs.name)
+		}
+		cfg := program.Config{Threads: 64, Nodes: 4, Input: cs.input, Seed: uint64(99000 + i*7)}
+		cr, _, _, _, err := c.Detector.DetectCase(e.Builder, c.Machine, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cr.Detected {
+			t.Errorf("%s %s T64-N4 not detected (false negative)", cs.name, cs.input)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"drbw/internal/llc"
+	"drbw/internal/program"
+)
+
+// LLCStudy runs the future-work extension: train the shared-cache
+// contention detector, cross-validate it, and analyze a thrashing and a
+// fitting run.
+func (c *Context) LLCStudy() (string, error) {
+	det, err := llc.Train(c.Machine, c.Quick, 77)
+	if err != nil {
+		return "", err
+	}
+	cm, err := det.CrossValidate(5)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Extension (paper §IX) — shared-cache contention detection\n\n")
+	fmt.Fprintf(&b, "training runs: %d socket examples, 5-fold CV accuracy %.1f%%\n\n",
+		len(det.Dataset.Examples), 100*cm.Accuracy())
+	b.WriteString("learned tree:\n")
+	b.WriteString(det.Tree.String())
+
+	cases := []struct {
+		name    string
+		ws      uint64
+		threads int
+		nodes   int
+		expect  llc.Mode
+	}{
+		{"thrash: 8x550KB on one socket", 550 << 10, 8, 1, llc.Thrash},
+		{"fit: 2x550KB per socket", 550 << 10, 8, 4, llc.Fit},
+		{"fit: L2-resident sets", 24 << 10, 16, 2, llc.Fit},
+	}
+	b.WriteString("\nprobe runs:\n")
+	for i, cs := range cases {
+		res, err := det.Analyze(c.Machine, llc.Wset(cs.ws),
+			program.Config{Threads: cs.threads, Nodes: cs.nodes, Input: "default", Seed: uint64(95000 + i)})
+		if err != nil {
+			return "", err
+		}
+		verdict := "fit"
+		if res.Detected() {
+			verdict = fmt.Sprintf("thrash on %v", res.Contended)
+		}
+		fmt.Fprintf(&b, "  %-32s -> %-18s (expected %s)\n", cs.name, verdict, cs.expect)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"drbw/internal/core"
+	"drbw/internal/dtree"
+	"drbw/internal/features"
+)
+
+// TableI reruns the feature-selection filter over the candidate statistics
+// of the training runs and renders the kept features next to the paper's
+// Table I list.
+func (c *Context) TableI() string {
+	kept := c.Training.SelectionExperiment()
+	var b strings.Builder
+	b.WriteString("Table I — features kept by the selection filter (candidate list -> selected)\n\n")
+	b.WriteString("paper's selected features:\n")
+	for i, n := range features.Names {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, n)
+	}
+	b.WriteString("\nfilter keeps (significant good-vs-rmc difference for a majority of mini-programs):\n")
+	for _, n := range kept {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}
+
+// TableII renders the training-set summary.
+func (c *Context) TableII() string {
+	sum := c.Training.Summary()
+	t := &table{header: []string{"mini-programs", "good", "rmc", "total"}}
+	order := []string{"sumv", "dotv", "countv", "bandit"}
+	tg, tr := 0, 0
+	for _, prog := range order {
+		g := sum[prog][features.Good]
+		r := sum[prog][features.RMC]
+		tg += g
+		tr += r
+		rmc := itoa(r)
+		if r == 0 {
+			rmc = "-"
+		}
+		t.add(prog, itoa(g), rmc, itoa(g+r))
+	}
+	t.add("Full training data set", itoa(tg), itoa(tr), itoa(tg+tr))
+	return "Table II — collected training data\n\n" + t.String()
+}
+
+// TableIII runs stratified 10-fold cross validation and renders the pooled
+// confusion matrix.
+func (c *Context) TableIII() (string, float64, error) {
+	cm, err := c.CrossValidate()
+	if err != nil {
+		return "", 0, err
+	}
+	var b strings.Builder
+	b.WriteString("Table III — confusion matrix, stratified 10-fold cross validation\n\n")
+	b.WriteString(cm.String())
+	fmt.Fprintf(&b, "\noverall success rate: %d/%d (%.1f%%)  [paper: 187/192 = 97.4%%]\n",
+		correct(cm.Counts), cm.Total(), 100*cm.Accuracy())
+	return b.String(), cm.Accuracy(), nil
+}
+
+func correct(counts [][]int) int {
+	n := 0
+	for i := range counts {
+		n += counts[i][i]
+	}
+	return n
+}
+
+// CrossValidate exposes the raw CV matrix.
+func (c *Context) CrossValidate() (*dtree.ConfusionMatrix, error) {
+	return core.CrossValidate(c.Training, core.DefaultTreeConfig())
+}
+
+// Fig3 renders the trained decision tree with the Table I feature indices
+// it splits on.
+func (c *Context) Fig3() string {
+	var b strings.Builder
+	b.WriteString("Figure 3 — the decision tree used by DR-BW\n\n")
+	b.WriteString(c.Tree.String())
+	b.WriteString("\nsplits on Table I features: ")
+	var parts []string
+	for _, f := range c.Tree.UsedFeatures() {
+		parts = append(parts, fmt.Sprintf("#%d (%s)", f+1, features.Names[f]))
+	}
+	sort.Strings(parts)
+	b.WriteString(strings.Join(parts, ", "))
+	b.WriteString("\n[paper: features #6 (num remote dram samples) and #7 (avg remote dram latency)]\n")
+	return b.String()
+}

@@ -1,0 +1,325 @@
+// Package features turns batches of PEBS samples into the statistical
+// feature vectors DR-BW's classifier consumes.
+//
+// The paper derives a large candidate list of per-batch statistics
+// (identification, location and latency categories — Section V-B), then
+// keeps the 13 features of Table I that differ significantly between the
+// "good" and "rmc" modes of the training mini-programs. This package
+// implements both the selected Table I vector (Extract) and the full
+// candidate list plus the selection filter (Candidates, SelectRelevant) so
+// the selection experiment is reproducible.
+//
+// A feature vector always describes one directed remote channel S→T,
+// evaluated against the batch of samples issued by socket S: remote-DRAM
+// features count the samples that travelled S→T, local-DRAM features count
+// S's local samples, and the latency-ratio features summarize S's whole
+// batch. This is the paper's per-channel detection granularity.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"drbw/internal/cache"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+)
+
+// Label is the training/detection class of one run or channel.
+type Label int
+
+// The two modes the paper defines for every run.
+const (
+	Good Label = iota // no remote memory bandwidth contention
+	RMC               // remote memory bandwidth contention
+)
+
+// String names the label like the paper does.
+func (l Label) String() string {
+	switch l {
+	case Good:
+		return "good"
+	case RMC:
+		return "rmc"
+	default:
+		return fmt.Sprintf("Label(%d)", int(l))
+	}
+}
+
+// NumFeatures is the size of the selected vector (Table I).
+const NumFeatures = 13
+
+// Vector is one Table I feature vector.
+type Vector [NumFeatures]float64
+
+// Names describes each selected feature, in Table I order.
+var Names = [NumFeatures]string{
+	"ratio of latency above 1000",
+	"ratio of latency above 500",
+	"ratio of latency above 200",
+	"ratio of latency above 100",
+	"ratio of latency above 50",
+	"num remote dram access samples",
+	"avg remote dram access latency",
+	"num local dram access samples",
+	"avg local dram access latency",
+	"total num memory access samples",
+	"avg memory access latency",
+	"num line fill buffer access samples",
+	"line fill buffer access latency",
+}
+
+// latencyThresholds backs features 1-5.
+var latencyThresholds = [5]float64{1000, 500, 200, 100, 50}
+
+// Extract computes the Table I vector for remote channel ch from the full
+// sample set of a run. weight scales sample counts back to true totals when
+// the collector used a reservoir (pebs.Collector.Weight).
+func Extract(samples []pebs.Sample, ch topology.Channel, weight float64) Vector {
+	if weight <= 0 {
+		weight = 1
+	}
+	var v Vector
+	var batch, remote, local, lfb float64
+	var latSum, remoteLat, localLat, lfbLat float64
+	var above [5]float64
+	for _, s := range samples {
+		if s.SrcNode != ch.Src {
+			continue
+		}
+		batch++
+		latSum += s.Latency
+		for i, th := range latencyThresholds {
+			if s.Latency > th {
+				above[i]++
+			}
+		}
+		switch {
+		case s.Level == cache.MEM && s.HomeNode == ch.Dst && !ch.Local():
+			remote++
+			remoteLat += s.Latency
+		case s.Level == cache.MEM && s.HomeNode == s.SrcNode:
+			local++
+			localLat += s.Latency
+		case s.Level == cache.LFB:
+			lfb++
+			lfbLat += s.Latency
+		}
+	}
+	if batch == 0 {
+		return v
+	}
+	for i := range above {
+		v[i] = above[i] / batch
+	}
+	v[5] = remote * weight
+	if remote > 0 {
+		v[6] = remoteLat / remote
+	}
+	v[7] = local * weight
+	if local > 0 {
+		v[8] = localLat / local
+	}
+	v[9] = batch * weight
+	v[10] = latSum / batch
+	v[11] = lfb * weight
+	if lfb > 0 {
+		v[12] = lfbLat / lfb
+	}
+	return v
+}
+
+// ChannelVectors computes one vector per remote channel that has at least
+// minSamples samples, over the whole machine.
+func ChannelVectors(m *topology.Machine, samples []pebs.Sample, weight float64, minSamples int) map[topology.Channel]Vector {
+	perChannel := pebs.Associate(samples)
+	out := make(map[topology.Channel]Vector)
+	for _, ch := range m.RemoteChannels() {
+		if len(perChannel[ch]) < minSamples {
+			continue
+		}
+		out[ch] = Extract(samples, ch, weight)
+	}
+	return out
+}
+
+// Candidates computes the full candidate statistics list of Section V-B for
+// one sample batch (typically the batch of one source socket). Keys are
+// stable; SelectRelevant consumes them.
+func Candidates(samples []pebs.Sample, weight float64) map[string]float64 {
+	if weight <= 0 {
+		weight = 1
+	}
+	out := make(map[string]float64)
+	if len(samples) == 0 {
+		return out
+	}
+	var latSum float64
+	levelCount := map[cache.Level]float64{}
+	levelLat := map[cache.Level]float64{}
+	var remote, remoteLat, local, localLat float64
+	cpus := map[topology.CPUID]float64{}
+	threads := map[int]float64{}
+	nodes := map[topology.NodeID]float64{}
+	var above [5]float64
+	for _, s := range samples {
+		latSum += s.Latency
+		levelCount[s.Level]++
+		levelLat[s.Level] += s.Latency
+		cpus[s.CPU]++
+		threads[s.Thread]++
+		nodes[s.SrcNode]++
+		if s.RemoteDRAM() {
+			remote++
+			remoteLat += s.Latency
+		}
+		if s.LocalDRAM() {
+			local++
+			localLat += s.Latency
+		}
+		for i, th := range latencyThresholds {
+			if s.Latency > th {
+				above[i]++
+			}
+		}
+	}
+	n := float64(len(samples))
+
+	// Statistics Latency.
+	for i, th := range latencyThresholds {
+		out[fmt.Sprintf("ratio_latency_above_%d", int(th))] = above[i] / n
+	}
+	out["avg_latency"] = latSum / n
+	for lvl, c := range levelCount {
+		if c > 0 {
+			out["avg_latency_"+lvl.String()] = levelLat[lvl] / c
+		}
+	}
+	if remote > 0 {
+		out["avg_latency_remote_dram"] = remoteLat / remote
+	} else {
+		out["avg_latency_remote_dram"] = 0
+	}
+	if local > 0 {
+		out["avg_latency_local_dram"] = localLat / local
+	} else {
+		out["avg_latency_local_dram"] = 0
+	}
+
+	// Statistics Location.
+	out["num_l1_hit"] = levelCount[cache.L1] * weight
+	out["num_l2_hit"] = levelCount[cache.L2] * weight
+	out["num_l3_hit"] = levelCount[cache.L3] * weight
+	out["num_lfb"] = levelCount[cache.LFB] * weight
+	out["num_l3_miss"] = (levelCount[cache.LFB] + levelCount[cache.MEM]) * weight
+	out["num_dram"] = levelCount[cache.MEM] * weight
+	out["num_remote_dram"] = remote * weight
+	out["num_local_dram"] = local * weight
+	out["total_samples"] = n * weight
+
+	// Statistics Identification.
+	out["num_cpus"] = float64(len(cpus))
+	out["num_threads"] = float64(len(threads))
+	out["num_nodes"] = float64(len(nodes))
+	maxPerCPU := 0.0
+	for _, c := range cpus {
+		if c > maxPerCPU {
+			maxPerCPU = c
+		}
+	}
+	out["max_share_per_cpu"] = maxPerCPU / n
+	return out
+}
+
+// LabeledCandidates is the candidate statistics of one training run with its
+// mini-program name and mode, the unit of the selection experiment.
+type LabeledCandidates struct {
+	Program string
+	Mode    Label
+	Values  map[string]float64
+}
+
+// SelectRelevant reproduces the paper's feature-selection filter: a
+// candidate feature is kept when its statistics differ significantly between
+// "good" and "rmc" runs for a majority of the mini-programs. Significance is
+// a two-sample effect-size test: |mean(good) − mean(rmc)| > effectSize ×
+// pooled standard deviation. Returns the kept feature names sorted.
+func SelectRelevant(runs []LabeledCandidates, effectSize float64) []string {
+	if effectSize <= 0 {
+		effectSize = 0.8 // Cohen's d: "large effect"
+	}
+	programs := map[string][]LabeledCandidates{}
+	for _, r := range runs {
+		programs[r.Program] = append(programs[r.Program], r)
+	}
+	// Only programs with both classes can vote.
+	voters := 0
+	votes := map[string]int{}
+	allKeys := map[string]bool{}
+	for _, rs := range programs {
+		var good, rmc []LabeledCandidates
+		for _, r := range rs {
+			if r.Mode == Good {
+				good = append(good, r)
+			} else {
+				rmc = append(rmc, r)
+			}
+		}
+		if len(good) == 0 || len(rmc) == 0 {
+			continue
+		}
+		voters++
+		keys := map[string]bool{}
+		for _, r := range rs {
+			for k := range r.Values {
+				keys[k] = true
+				allKeys[k] = true
+			}
+		}
+		for k := range keys {
+			mg, sg := meanStd(good, k)
+			mr, sr := meanStd(rmc, k)
+			pooled := math.Sqrt((sg*sg + sr*sr) / 2)
+			if pooled == 0 {
+				if mg != mr {
+					votes[k]++
+				}
+				continue
+			}
+			if math.Abs(mg-mr) > effectSize*pooled {
+				votes[k]++
+			}
+		}
+	}
+	var kept []string
+	for k := range allKeys {
+		if voters > 0 && votes[k]*2 > voters {
+			kept = append(kept, k)
+		}
+	}
+	sort.Strings(kept)
+	return kept
+}
+
+func meanStd(runs []LabeledCandidates, key string) (mean, std float64) {
+	n := 0.0
+	for _, r := range runs {
+		if v, ok := r.Values[key]; ok {
+			mean += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	mean /= n
+	for _, r := range runs {
+		if v, ok := r.Values[key]; ok {
+			d := v - mean
+			std += d * d
+		}
+	}
+	std = math.Sqrt(std / n)
+	return mean, std
+}

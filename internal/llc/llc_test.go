@@ -1,0 +1,133 @@
+package llc
+
+import (
+	"testing"
+
+	"drbw/internal/cache"
+	"drbw/internal/pebs"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+)
+
+func TestModeString(t *testing.T) {
+	if Fit.String() != "fit" || Thrash.String() != "thrash" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestTrainingSetShape(t *testing.T) {
+	set := TrainingSet()
+	if len(set) != 81 {
+		t.Fatalf("training set has %d runs, want 81 (9 points x 3 regimes x 3 reps)", len(set))
+	}
+	fit, thrash := 0, 0
+	seeds := map[uint64]bool{}
+	for _, inst := range set {
+		if inst.Mode == Fit {
+			fit++
+		} else {
+			thrash++
+		}
+		if seeds[inst.Cfg.Seed] {
+			t.Fatalf("duplicate seed %d", inst.Cfg.Seed)
+		}
+		seeds[inst.Cfg.Seed] = true
+	}
+	if fit != 2*thrash {
+		t.Errorf("class mix: %d fit / %d thrash, want 2:1", fit, thrash)
+	}
+}
+
+// TestThrashingEmergesFromSharedL3 verifies the phenomenon itself: the same
+// per-thread working set hits when co-runners are absent and misses when
+// the socket overflows.
+func TestThrashingEmergesFromSharedL3(t *testing.T) {
+	m := topology.XeonE5_4650()
+	// 8 threads x 550 KB on one socket = 4.4 MB >> 2 MB scaled L3.
+	thrash := Wset(550 * 1024)
+	samples, weight, _, err := run(m, thrash, program.Config{Threads: 8, Nodes: 1, Input: "default", Seed: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vThrash := Extract(samples, 0, weight)
+
+	// The same total pressure split across 4 sockets: 2 threads x 550 KB =
+	// 1.1 MB per socket, comfortably inside.
+	fit := Wset(550 * 1024)
+	samples2, weight2, _, err := run(m, fit, program.Config{Threads: 8, Nodes: 4, Input: "default", Seed: 2}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vFit := Extract(samples2, 0, weight2)
+
+	if vThrash[2] < 0.5 {
+		t.Errorf("overflowing socket miss ratio %.2f, want > 0.5", vThrash[2])
+	}
+	if vFit[2] > 0.3 {
+		t.Errorf("fitting socket miss ratio %.2f, want < 0.3", vFit[2])
+	}
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	m := topology.XeonE5_4650()
+	det, err := Train(m, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := det.CrossValidate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := cm.Accuracy(); acc < 0.85 {
+		t.Errorf("LLC classifier CV accuracy %.2f", acc)
+	}
+
+	// Analyze a thrashing run: every occupied socket should be flagged and
+	// the per-thread wset objects share the CF roughly evenly.
+	res, err := det.Analyze(m, Wset(500*1024), program.Config{Threads: 16, Nodes: 2, Input: "default", Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("thrashing run not detected")
+	}
+	if len(res.Contended) != 2 {
+		t.Errorf("contended sockets %v, want both", res.Contended)
+	}
+	if len(res.Report.Overall) < 8 {
+		t.Errorf("CF ranking has %d objects", len(res.Report.Overall))
+	}
+
+	// And a fitting run stays clean.
+	resFit, err := det.Analyze(m, Wset(64*1024), program.Config{Threads: 8, Nodes: 2, Input: "default", Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFit.Detected() {
+		t.Errorf("fitting run flagged on sockets %v", resFit.Contended)
+	}
+}
+
+func TestExtractEmptySocket(t *testing.T) {
+	v := Extract(nil, 0, 1)
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("feature %d = %g on empty batch", i, x)
+		}
+	}
+	// Samples from another socket only.
+	s := []pebs.Sample{{SrcNode: 1, Level: cache.L3, Latency: 40}}
+	if v := Extract(s, 0, 1); v[6] != 0 {
+		t.Error("foreign-socket samples counted")
+	}
+}
+
+func TestCacheConfigDisablesPrefetch(t *testing.T) {
+	cfg := CacheConfig()
+	if cfg.PrefetchDepth >= 0 {
+		t.Error("LLC experiment must disable the prefetcher")
+	}
+	if cfg.L3Size != ScaledL3 {
+		t.Error("scaled L3 size mismatch")
+	}
+}

@@ -1,0 +1,450 @@
+// Package micro implements the paper's training mini-programs (Section V-A):
+//
+//   - sumv / dotv / countv — OpenMP-style multithreaded vector operations,
+//     each thread working on its own contiguous share of the vector(s). The
+//     vector size and the placement of its pages tune each run into
+//     "good" (bandwidth friendly) or "rmc" (remote memory bandwidth
+//     contention) mode: small or co-located data stays friendly, large
+//     vectors first-touched by the master thread concentrate every page on
+//     one node and contend.
+//
+//   - bandit — a single-threaded stream of conflict misses built on huge
+//     pages (following Eklov et al.'s Bandwidth Bandit): every access maps
+//     to the same cache sets, so every access reaches DRAM. The chase is
+//     dependent (low memory-level parallelism), so a bandit pushes latency,
+//     not bandwidth — all 48 bandit runs are labeled "good" in Table II,
+//     teaching the classifier that a high remote-access count alone is not
+//     contention.
+//
+// TrainingSet reproduces Table II: 48 runs per mini-program, 192 total,
+// 120 good / 72 rmc.
+package micro
+
+import (
+	"fmt"
+
+	"drbw/internal/alloc"
+	"drbw/internal/engine"
+	"drbw/internal/features"
+	"drbw/internal/memsim"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// Mode selects how a vector mini-program's data is sized and placed.
+type Mode int
+
+// Data modes of the vector mini-programs.
+const (
+	// SmallShared: a small vector (cache-scale) shared by all threads.
+	SmallShared Mode = iota
+	// BigColocated: a large vector first-touched in parallel, each thread's
+	// share landing on its own node.
+	BigColocated
+	// BigCentralized: a large vector first-touched entirely by the master
+	// thread on node 0 — the contention pathology.
+	BigCentralized
+)
+
+// vectorKind distinguishes the three vector mini-programs.
+type vectorKind int
+
+const (
+	kindSumv vectorKind = iota
+	kindDotv
+	kindCountv
+)
+
+func (k vectorKind) name() string {
+	switch k {
+	case kindSumv:
+		return "sumv"
+	case kindDotv:
+		return "dotv"
+	case kindCountv:
+		return "countv"
+	default:
+		return fmt.Sprintf("vectorKind(%d)", int(k))
+	}
+}
+
+// vectorParams per kind: dotv touches two vectors; countv updates a small
+// cache-resident counter table between vector reads, so its cache-hit
+// ratio is high even while its aggregate scan still saturates remote
+// links — the low-miss-ratio face of contention (wavefront codes like NW
+// look the same).
+func (k vectorKind) params() (arrays int, mlp, work float64) {
+	switch k {
+	case kindDotv:
+		return 2, 8, 1
+	case kindCountv:
+		return 1, 8, 0.5
+	default:
+		return 1, 8, 1
+	}
+}
+
+// sliceBytes returns the per-thread share for a mode.
+func sliceBytes(mode Mode, variant int) uint64 {
+	switch mode {
+	case SmallShared:
+		// Total footprint ~1-2 MB regardless of thread count: after warmup
+		// the working set lives in the caches.
+		return 0 // handled by caller: fixed total
+	case BigColocated, BigCentralized:
+		return uint64(4+4*variant) * mb // 4 or 8 MB per thread
+	}
+	return 0
+}
+
+// Vector returns a builder for one of the vector mini-programs in the given
+// mode. variant (0 or 1) selects the size point within the mode.
+func Vector(kind vectorKind, mode Mode, variant int) program.Builder {
+	name := fmt.Sprintf("%s-%s", kind.name(), modeName(mode))
+	return program.Builder{
+		Name:   name,
+		Inputs: []string{"default"},
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			bind, err := engine.EvenBinding(m, cfg.Threads, cfg.Nodes)
+			if err != nil {
+				return nil, err
+			}
+			as := memsim.NewAddressSpace(m)
+			heap := alloc.NewHeap(as, 0x10000000)
+			arrays, mlp, work := kind.params()
+
+			var slice uint64
+			switch mode {
+			case SmallShared:
+				// A few KB per thread: after one pass the working set is
+				// cache resident, the friendly end of the size sweep.
+				slice = uint64(8+8*variant) * kb
+			default:
+				slice = sliceBytes(mode, variant)
+			}
+			total := slice * uint64(cfg.Threads)
+
+			p := &program.Program{Machine: m, Space: as, Heap: heap, Binding: bind}
+			var bases []uint64
+			for a := 0; a < arrays; a++ {
+				obj, err := heap.Malloc(
+					fmt.Sprintf("vec_%c", 'a'+a), total,
+					alloc.Site{Func: "main", File: kind.name() + ".c", Line: 10 + a},
+					memsim.FirstTouchPolicy(),
+				)
+				if err != nil {
+					return nil, err
+				}
+				switch mode {
+				case BigCentralized:
+					heap.TouchAll(obj, 0) // serial init by the master thread
+				case BigColocated:
+					// Parallel first touch, with a realistic imperfection:
+					// a sprinkle of pages lands on the wrong node (helper
+					// threads, demand-zero stragglers). Those pages produce
+					// a few remote samples whose latency still reflects the
+					// local controllers' queues, so the classifier cannot
+					// call a run contended on remote latency alone — it
+					// must also weigh the remote sample count, which is
+					// exactly the paper's feature pair.
+					nodes := make([]topology.NodeID, 0, cfg.Nodes)
+					for n := 0; n < cfg.Nodes; n++ {
+						nodes = append(nodes, topology.NodeID(n))
+					}
+					o := heap.Object(obj)
+					psz := uint64(heap.Space().Machine().PageSize())
+					pages := o.Size / psz
+					for pg := uint64(0); pg < pages; pg += 48 {
+						wrong := topology.NodeID((int(pg/48) + 1) % cfg.Nodes)
+						heap.Space().Touch(o.Base+pg*psz, wrong)
+					}
+					heap.TouchPartitioned(obj, nodes)
+				default:
+					heap.TouchAll(obj, 0) // small: placement irrelevant
+				}
+				bases = append(bases, heap.Object(obj).Base)
+			}
+
+			// The size variant also selects the traversal: variant 0 sweeps
+			// 8-byte doubles in order (1/8 of accesses start a new line,
+			// and the stream prefetcher covers most of those), variant 1
+			// visits the elements in random order (every access is a fresh
+			// line and nothing is prefetched). The two variants keep the
+			// same contention behaviour but produce very different cache-hit
+			// ratios and LFB populations, so neither the latency-ratio
+			// features nor the fill-buffer features can separate the classes
+			// alone — the classifier is forced onto the remote-DRAM features
+			// the paper's tree uses, which hold for both traversals.
+			random := variant%2 == 1 && mode != SmallShared
+			elem := uint64(8)
+			elems := slice / elem
+			passes := 3.0
+			switch {
+			case mode == SmallShared:
+				passes = 40 // small data is re-scanned many times
+			case random:
+				// One pass: the random runs double as *short* contended
+				// examples, teaching the classifier that a modest remote
+				// sample count with inflated latency is still contention
+				// (raw-count thresholds alone must not decide).
+				passes = 1
+			}
+			// countv keeps a small per-thread counter table, hammered twice
+			// per scanned element; the table is cache resident, so countv's
+			// miss ratio is ~3x lower than sumv's at the same bandwidth
+			// pressure.
+			var countsBase uint64
+			opsFactor := 1.0
+			if kind == kindCountv {
+				counters, err := heap.Malloc("counts", uint64(cfg.Threads)*4*kb,
+					alloc.Site{Func: "main", File: "countv.c", Line: 22},
+					memsim.FirstTouchPolicy())
+				if err != nil {
+					return nil, err
+				}
+				heap.TouchPartitioned(counters, nodesUpTo(cfg.Nodes))
+				countsBase = heap.Object(counters).Base
+				opsFactor = 3
+			}
+
+			// sweep yields the traversal stream for one vector share.
+			sweep := func(base uint64) trace.Stream {
+				if random {
+					return &trace.Rand{Base: base, Len: slice, Elem: elem}
+				}
+				return &trace.Seq{Base: base, Len: slice, Elem: elem}
+			}
+			ph := trace.Phase{Name: "compute"}
+			for t := 0; t < cfg.Threads; t++ {
+				off := uint64(t) * slice
+				var stream trace.Stream
+				switch {
+				case kind == kindCountv:
+					stream = &trace.Mix{
+						Streams: []trace.Stream{
+							&trace.Seq{Base: countsBase + uint64(t)*4*kb, Len: 4 * kb, Elem: 8, WriteEvery: 2},
+							sweep(bases[0] + off),
+						},
+						Weights: []int{2, 1},
+					}
+				case arrays == 1:
+					stream = sweep(bases[0] + off)
+				default:
+					stream = &trace.Mix{
+						Streams: []trace.Stream{
+							sweep(bases[0] + off),
+							sweep(bases[1] + off),
+						},
+						Weights: []int{1, 1},
+					}
+				}
+				ph.Threads = append(ph.Threads, trace.ThreadSpec{
+					Stream:     stream,
+					Ops:        float64(elems) * float64(arrays) * passes * opsFactor,
+					MLP:        mlp,
+					WorkCycles: work,
+				})
+			}
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// nodesUpTo lists nodes 0..n-1.
+func nodesUpTo(n int) []topology.NodeID {
+	out := make([]topology.NodeID, n)
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	return out
+}
+
+func modeName(m Mode) string {
+	switch m {
+	case SmallShared:
+		return "small"
+	case BigColocated:
+		return "colocated"
+	case BigCentralized:
+		return "centralized"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Sumv builds the vector-summation mini-program.
+func Sumv(mode Mode, variant int) program.Builder { return Vector(kindSumv, mode, variant) }
+
+// Dotv builds the dot-product mini-program (two vectors).
+func Dotv(mode Mode, variant int) program.Builder { return Vector(kindDotv, mode, variant) }
+
+// Countv builds the count-occurrences mini-program.
+func Countv(mode Mode, variant int) program.Builder { return Vector(kindCountv, mode, variant) }
+
+// Bandit builds the bandit mini-program: `instances` single-threaded bandit
+// processes, each chasing `streams` independent conflict-miss pointer chains
+// through huge pages resident on node 0, running from the other nodes. The
+// chase is dependent, so MLP equals the stream count — small — and the
+// remote links never saturate.
+func Bandit(streams, instances int) program.Builder {
+	return program.Builder{
+		Name:   "bandit",
+		Inputs: []string{"default"},
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			if streams < 1 || instances < 1 {
+				return nil, fmt.Errorf("bandit needs >=1 streams and instances, got %d/%d", streams, instances)
+			}
+			if m.Nodes() < 2 {
+				return nil, fmt.Errorf("bandit needs a remote node")
+			}
+			as := memsim.NewAddressSpace(m)
+			heap := alloc.NewHeap(as, 0x10000000)
+
+			// Huge pages on node 0 give the deterministic page-offset →
+			// cache-set mapping the conflict stream needs.
+			obj, err := heap.MallocHuge("bandit_pages", 256*mb,
+				alloc.Site{Func: "bandit_alloc", File: "bandit.c", Line: 77},
+				memsim.BindTo(0))
+			if err != nil {
+				return nil, err
+			}
+			base := heap.Object(obj).Base
+
+			// Conflict stride: one full pass of the L3 sets so consecutive
+			// chain elements hit the same set. The hierarchy exposes its set
+			// count; default E5 geometry gives a 1 MB stride.
+			stride := uint64(16384 * m.LineSize())
+
+			// Instances run on the non-home nodes, round-robin.
+			var bind engine.Binding
+			remoteNodes := m.Nodes() - 1
+			perNode := map[topology.NodeID]int{}
+			for i := 0; i < instances; i++ {
+				node := topology.NodeID(1 + i%remoteNodes)
+				cpus := m.CPUsOfNode(node)
+				if perNode[node] >= len(cpus) {
+					return nil, fmt.Errorf("too many bandit instances for node %d", node)
+				}
+				bind = append(bind, cpus[perNode[node]])
+				perNode[node]++
+			}
+
+			ph := trace.Phase{Name: "chase"}
+			for i := 0; i < instances; i++ {
+				// Each instance's chains use distinct lines within the
+				// shared sets: offset by instance and stream.
+				addrs := make([]uint64, 0, 64*streams)
+				for s := 0; s < streams; s++ {
+					lane := uint64(i*streams+s) * 64
+					for j := 0; j < 64; j++ {
+						addrs = append(addrs, base+uint64(j)*stride+lane)
+					}
+				}
+				ph.Threads = append(ph.Threads, trace.ThreadSpec{
+					Stream: &trace.Chase{Addrs: addrs},
+					// Long runs: bandit's per-socket batches must carry
+					// *more* remote samples than the weakest contended runs,
+					// so a count threshold alone can never separate the
+					// classes and the tree must also consult the latency.
+					Ops: 2.5e6,
+					MLP: float64(streams),
+				})
+			}
+			return &program.Program{
+				Machine: m, Space: as, Heap: heap,
+				Binding: bind, Phases: []trace.Phase{ph},
+			}, nil
+		},
+	}
+}
+
+// Instance is one labeled training run of Table II.
+type Instance struct {
+	Builder program.Builder
+	Cfg     program.Config
+	Mode    features.Label
+}
+
+// goodConfigs are the 12 Tt-Nn points used for friendly runs.
+var goodConfigs = []program.Config{
+	{Threads: 2, Nodes: 1}, {Threads: 4, Nodes: 1}, {Threads: 8, Nodes: 1}, {Threads: 16, Nodes: 1},
+	{Threads: 8, Nodes: 2}, {Threads: 16, Nodes: 2}, {Threads: 32, Nodes: 2},
+	{Threads: 24, Nodes: 3},
+	{Threads: 16, Nodes: 4}, {Threads: 32, Nodes: 4}, {Threads: 64, Nodes: 4},
+	{Threads: 48, Nodes: 3},
+}
+
+// rmcConfigs are the 12 Tt-Nn points used for contended runs (always more
+// than one node; enough threads per node to saturate the links).
+var rmcConfigs = []program.Config{
+	{Threads: 8, Nodes: 2}, {Threads: 16, Nodes: 2}, {Threads: 24, Nodes: 2}, {Threads: 32, Nodes: 2},
+	{Threads: 16, Nodes: 4}, {Threads: 24, Nodes: 4}, {Threads: 32, Nodes: 4}, {Threads: 64, Nodes: 4},
+	{Threads: 24, Nodes: 3}, {Threads: 48, Nodes: 3},
+	{Threads: 12, Nodes: 4}, {Threads: 40, Nodes: 4},
+}
+
+// TrainingSet reproduces Table II on machine m: for each vector
+// mini-program, 24 good runs (12 small-shared + 12 big-colocated) and 24
+// rmc runs (12 configs × 2 sizes, centralized); for bandit, 48 good runs.
+// Seeds are deterministic.
+func TrainingSet() []Instance {
+	var out []Instance
+	seed := uint64(1000)
+	vecs := []struct {
+		mk func(Mode, int) program.Builder
+	}{{Sumv}, {Dotv}, {Countv}}
+	for _, v := range vecs {
+		for i, cfg := range goodConfigs {
+			c := cfg
+			c.Input = "default"
+			c.Seed = seed
+			seed++
+			out = append(out, Instance{Builder: v.mk(SmallShared, i%2), Cfg: c, Mode: features.Good})
+		}
+		for i, cfg := range goodConfigs {
+			c := cfg
+			c.Input = "default"
+			c.Seed = seed
+			seed++
+			// Variant cadence (i/4)%2 keeps both element-granularity
+			// variants present even when callers subsample the set with a
+			// stride of 4 (quick mode).
+			out = append(out, Instance{Builder: v.mk(BigColocated, (i/4)%2), Cfg: c, Mode: features.Good})
+		}
+		for i, cfg := range rmcConfigs {
+			c := cfg
+			c.Input = "default"
+			c.Seed = seed
+			seed++
+			out = append(out, Instance{Builder: v.mk(BigCentralized, (i/4)%2), Cfg: c, Mode: features.RMC})
+		}
+		for i, cfg := range rmcConfigs {
+			c := cfg
+			c.Input = "default"
+			c.Seed = seed
+			seed++
+			out = append(out, Instance{Builder: v.mk(BigCentralized, 1-(i/4)%2), Cfg: c, Mode: features.RMC})
+		}
+	}
+	// 48 bandit runs: streams × instances grid, 4 repetitions.
+	for rep := 0; rep < 4; rep++ {
+		for _, streams := range []int{1, 2, 4} {
+			for _, instances := range []int{1, 2, 4, 8} {
+				c := program.Config{
+					Threads: instances, Nodes: 1, // informational; bandit binds itself
+					Input: "default", Seed: seed,
+				}
+				seed++
+				out = append(out, Instance{Builder: Bandit(streams, instances), Cfg: c, Mode: features.Good})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package micro
+
+import (
+	"testing"
+
+	"drbw/internal/engine"
+	"drbw/internal/features"
+	"drbw/internal/pebs"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+)
+
+func testEngineConfig(col *pebs.Collector) engine.Config {
+	return engine.Config{Window: 2048, Warmup: 512, ReservoirSize: 256, Seed: 7, Collector: col}
+}
+
+func TestTrainingSetMatchesTableII(t *testing.T) {
+	set := TrainingSet()
+	if len(set) != 192 {
+		t.Fatalf("training set has %d instances, want 192", len(set))
+	}
+	counts := map[string]map[features.Label]int{}
+	for _, inst := range set {
+		prog := inst.Builder.Name
+		// Collapse the mode suffix: sumv-small -> sumv.
+		for _, base := range []string{"sumv", "dotv", "countv", "bandit"} {
+			if len(prog) >= len(base) && prog[:len(base)] == base {
+				prog = base
+			}
+		}
+		if counts[prog] == nil {
+			counts[prog] = map[features.Label]int{}
+		}
+		counts[prog][inst.Mode]++
+	}
+	for _, prog := range []string{"sumv", "dotv", "countv"} {
+		if counts[prog][features.Good] != 24 || counts[prog][features.RMC] != 24 {
+			t.Errorf("%s: %d good / %d rmc, want 24/24", prog, counts[prog][features.Good], counts[prog][features.RMC])
+		}
+	}
+	if counts["bandit"][features.Good] != 48 || counts["bandit"][features.RMC] != 0 {
+		t.Errorf("bandit: %d good / %d rmc, want 48/0", counts["bandit"][features.Good], counts["bandit"][features.RMC])
+	}
+	// Seeds must be distinct so runs are independent.
+	seeds := map[uint64]bool{}
+	for _, inst := range set {
+		if seeds[inst.Cfg.Seed] {
+			t.Fatalf("duplicate seed %d", inst.Cfg.Seed)
+		}
+		seeds[inst.Cfg.Seed] = true
+	}
+}
+
+func TestCentralizedVectorContends(t *testing.T) {
+	m := topology.XeonE5_4650()
+	b := Sumv(BigCentralized, 0)
+	p, err := b.New(m, program.Config{Threads: 32, Nodes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(testEngineConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl0 := topology.Channel{Src: 0, Dst: 0}
+	if u := res.Phases[0].Channels[ctrl0].PeakUtil; u < 1 {
+		t.Errorf("centralized sumv node-0 util %.2f, want saturated", u)
+	}
+	if res.RemoteDRAMAccesses() < res.LocalDRAMAccesses() {
+		t.Error("centralized run should be remote-dominated")
+	}
+	if res.AvgDRAMLatency() < 1.4*m.Latencies().RemoteDRAM {
+		t.Errorf("centralized latency %.0f not inflated", res.AvgDRAMLatency())
+	}
+}
+
+func TestColocatedVectorDoesNotContendRemotely(t *testing.T) {
+	m := topology.XeonE5_4650()
+	b := Dotv(BigColocated, 0)
+	p, err := b.New(m, program.Config{Threads: 32, Nodes: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(testEngineConfig(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.RemoteDRAMAccesses() + res.LocalDRAMAccesses()
+	if total == 0 {
+		t.Fatal("big colocated run should reach DRAM")
+	}
+	if res.RemoteDRAMAccesses() > 0.1*total {
+		t.Errorf("colocated run %.0f%% remote", 100*res.RemoteDRAMAccesses()/total)
+	}
+	for _, ch := range m.RemoteChannels() {
+		if u := res.Channel(ch).PeakUtil; u > 0.5 {
+			t.Errorf("remote channel %v util %.2f on colocated run", ch, u)
+		}
+	}
+}
+
+func TestSmallSharedStaysInCache(t *testing.T) {
+	m := topology.XeonE5_4650()
+	p, err := Countv(SmallShared, 0).New(m, program.Config{Threads: 16, Nodes: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// countv's Mix gives the scan a third of the window; cover a full pass.
+	cfg := engine.Config{Window: 8192, Warmup: 4096, ReservoirSize: 256, Seed: 7}
+	res, err := p.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dram := res.RemoteDRAMAccesses() + res.LocalDRAMAccesses()
+	var ops float64
+	for _, th := range p.Phases[0].Threads {
+		ops += th.Ops
+	}
+	if dram > 0.05*ops {
+		t.Errorf("small shared run sent %.2f%% of accesses to DRAM", 100*dram/ops)
+	}
+}
+
+func TestBanditHighRemoteLowContention(t *testing.T) {
+	m := topology.XeonE5_4650()
+	col := pebs.NewCollector(pebs.Config{Period: 500}, 11)
+	p, err := Bandit(4, 8).New(m, program.Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(testEngineConfig(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.RemoteDRAMAccesses() + res.LocalDRAMAccesses()
+	if total == 0 || res.RemoteDRAMAccesses() < 0.8*total {
+		t.Fatalf("bandit should be almost all remote: %.0f/%.0f", res.RemoteDRAMAccesses(), total)
+	}
+	// The defining property: high remote traffic count, no saturation, base
+	// latency.
+	for _, ch := range m.Channels() {
+		if u := res.Channel(ch).PeakUtil; u > 0.8 {
+			t.Errorf("bandit saturated channel %v (%.2f)", ch, u)
+		}
+	}
+	if res.AvgDRAMLatency() > 1.25*m.Latencies().RemoteDRAM {
+		t.Errorf("bandit latency %.0f should stay near base", res.AvgDRAMLatency())
+	}
+	// And the samples reflect it: plenty of remote-DRAM samples.
+	remote := 0
+	for _, s := range col.Samples() {
+		if s.RemoteDRAM() {
+			remote++
+		}
+	}
+	if remote < 50 {
+		t.Errorf("bandit produced only %d remote samples", remote)
+	}
+}
+
+func TestBanditValidation(t *testing.T) {
+	m := topology.XeonE5_4650()
+	if _, err := Bandit(0, 1).New(m, program.Config{}); err == nil {
+		t.Error("zero streams accepted")
+	}
+	if _, err := Bandit(1, 0).New(m, program.Config{}); err == nil {
+		t.Error("zero instances accepted")
+	}
+	if _, err := Bandit(1, 999).New(m, program.Config{}); err == nil {
+		t.Error("absurd instance count accepted")
+	}
+}
+
+func TestVectorBuilderRespectsConfig(t *testing.T) {
+	m := topology.XeonE5_4650()
+	p, err := Sumv(BigCentralized, 1).New(m, program.Config{Threads: 24, Nodes: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Binding) != 24 || len(p.Phases[0].Threads) != 24 {
+		t.Fatalf("binding/threads = %d/%d, want 24", len(p.Binding), len(p.Phases[0].Threads))
+	}
+	nodes := p.NodesUsed()
+	if len(nodes) != 3 {
+		t.Fatalf("nodes used = %v, want 3 nodes", nodes)
+	}
+	if _, ok := p.Object("vec_a"); !ok {
+		t.Error("vec_a object missing")
+	}
+	// dotv has two vectors.
+	p2, err := Dotv(SmallShared, 0).New(m, program.Config{Threads: 8, Nodes: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p2.Object("vec_b"); !ok {
+		t.Error("dotv second vector missing")
+	}
+}

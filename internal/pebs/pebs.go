@@ -1,0 +1,234 @@
+// Package pebs models precise event-based address sampling — the hardware
+// mechanism DR-BW's profiler is built on (Intel PEBS with latency
+// extensions; AMD IBS and IBM MRK are equivalent).
+//
+// The simulated PMU samples one of every Period memory accesses
+// independently in each thread (the paper uses 1/2000 with the event
+// MEM_TRANS_RETIRED:LATENCY_ABOVE_THRESHOLD). Each sample carries exactly
+// the fields the real extension reports and DR-BW consumes:
+//
+//   - the effective address of the load/store,
+//   - the memory layer that served it (L1/L2/L3/LFB/DRAM),
+//   - the access latency in core cycles,
+//   - the CPU (hardware thread) that executed the instruction.
+//
+// The source NUMA node of a sample is derived from the CPU via the machine
+// topology; the home node of the data is derived from the address via the
+// simulated page tables (the libnuma query). Associate groups samples into
+// directed channels from those two nodes, which is DR-BW's per-channel
+// detection granularity.
+package pebs
+
+import (
+	"math/rand"
+	"sort"
+
+	"drbw/internal/cache"
+	"drbw/internal/memsim"
+	"drbw/internal/topology"
+)
+
+// DefaultPeriod is the paper's sampling period: one in 2000 accesses.
+const DefaultPeriod = 2000
+
+// DefaultLatencyThreshold mirrors the PEBS latency-above-threshold setting:
+// loads faster than this many cycles are not eligible for sampling. Three
+// cycles keeps every L1 hit visible, as the paper's feature set requires.
+const DefaultLatencyThreshold = 3
+
+// Sample is one address sample.
+type Sample struct {
+	Time    float64 // cycles since run start
+	CPU     topology.CPUID
+	Thread  int
+	Addr    uint64
+	Level   cache.Level // memory layer that served the access
+	Latency float64     // cycles
+	Write   bool
+	// SrcNode is the NUMA node of the issuing CPU; HomeNode the node holding
+	// the data. Both are resolved by the profiler, not reported by hardware.
+	SrcNode  topology.NodeID
+	HomeNode topology.NodeID
+}
+
+// Channel returns the directed channel this sample travelled.
+func (s Sample) Channel() topology.Channel {
+	return topology.Channel{Src: s.SrcNode, Dst: s.HomeNode}
+}
+
+// RemoteDRAM reports whether the sample was served by another socket's DRAM.
+func (s Sample) RemoteDRAM() bool {
+	return s.Level == cache.MEM && s.SrcNode != s.HomeNode
+}
+
+// LocalDRAM reports whether the sample was served by the local DRAM.
+func (s Sample) LocalDRAM() bool {
+	return s.Level == cache.MEM && s.SrcNode == s.HomeNode
+}
+
+// Flavor selects the sampling hardware being modeled.
+type Flavor int
+
+// Sampling flavors.
+const (
+	// PEBS models Intel precise event-based sampling with the latency
+	// extension: the PMU counts *memory accesses* and tags every Period-th
+	// one with its address, data source and access latency.
+	PEBS Flavor = iota
+	// IBS models AMD instruction-based sampling for micro-ops (IBS op,
+	// Drongowski 2007): the PMU counts *micro-ops*, memory or not. The
+	// expected number of memory samples per memory access is the same as
+	// PEBS at equal period, but two observable differences follow:
+	// compute-heavy code burns sampling interrupts on non-memory ops (the
+	// profiling overhead scales with total micro-ops, not accesses), and
+	// the tagged-load timing is noisier than PEBS's dedicated latency
+	// counter.
+	IBS
+)
+
+// String names the flavor.
+func (f Flavor) String() string {
+	if f == IBS {
+		return "IBS"
+	}
+	return "PEBS"
+}
+
+// Config controls the sampler.
+type Config struct {
+	// Flavor selects PEBS (default) or IBS sampling semantics.
+	Flavor Flavor
+	// Period samples one in Period accesses per thread. <= 0 uses
+	// DefaultPeriod.
+	Period int
+	// LatencyThreshold drops samples whose latency is below the threshold,
+	// like the PEBS event's programmable threshold. <= 0 uses
+	// DefaultLatencyThreshold.
+	LatencyThreshold float64
+	// MaxKept bounds memory: once more than MaxKept samples have been
+	// collected, reservoir sampling keeps a uniform subset. <= 0 means
+	// keep everything.
+	MaxKept int
+	// OverheadCycles is the profiling cost charged to the sampled thread per
+	// recorded sample (PEBS micro-assist plus buffer drain, amortized).
+	OverheadCycles float64
+}
+
+// Collector accumulates samples during a run.
+type Collector struct {
+	cfg     Config
+	samples []Sample
+	total   int
+	rng     *rand.Rand
+}
+
+// NewCollector returns a collector with cfg (zero fields defaulted).
+func NewCollector(cfg Config, seed uint64) *Collector {
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultPeriod
+	}
+	if cfg.LatencyThreshold <= 0 {
+		cfg.LatencyThreshold = DefaultLatencyThreshold
+	}
+	if cfg.OverheadCycles < 0 {
+		cfg.OverheadCycles = 0
+	}
+	return &Collector{cfg: cfg, rng: rand.New(rand.NewSource(int64(seed) ^ 0x7f4a7c15))}
+}
+
+// Config returns the effective configuration.
+func (c *Collector) Config() Config { return c.cfg }
+
+// Flavor returns the modeled sampling hardware.
+func (c *Collector) Flavor() Flavor { return c.cfg.Flavor }
+
+// Period returns the sampling period in accesses.
+func (c *Collector) Period() int { return c.cfg.Period }
+
+// OverheadCycles returns the per-sample profiling cost.
+func (c *Collector) OverheadCycles() float64 { return c.cfg.OverheadCycles }
+
+// Add records one sample, applying the latency threshold and the reservoir
+// bound.
+func (c *Collector) Add(s Sample) {
+	if s.Latency < c.cfg.LatencyThreshold {
+		return
+	}
+	c.total++
+	if c.cfg.MaxKept <= 0 || len(c.samples) < c.cfg.MaxKept {
+		c.samples = append(c.samples, s)
+		return
+	}
+	// Uniform reservoir replacement.
+	if j := c.rng.Intn(c.total); j < c.cfg.MaxKept {
+		c.samples[j] = s
+	}
+}
+
+// Samples returns the kept samples ordered by time.
+func (c *Collector) Samples() []Sample {
+	out := make([]Sample, len(c.samples))
+	copy(out, c.samples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Total returns how many samples passed the threshold, including any that
+// the reservoir later evicted.
+func (c *Collector) Total() int { return c.total }
+
+// Weight is the scale factor from kept samples to true sample counts
+// (Total/kept); count-valued features multiply by it.
+func (c *Collector) Weight() float64 {
+	if len(c.samples) == 0 {
+		return 1
+	}
+	return float64(c.total) / float64(len(c.samples))
+}
+
+// Reset discards all collected samples.
+func (c *Collector) Reset() {
+	c.samples = c.samples[:0]
+	c.total = 0
+}
+
+// Resolve fills SrcNode and HomeNode on a raw hardware sample the way the
+// profiler does: CPU → node via the topology, address → node via the
+// simulated page table (libnuma). Samples served by a cache level still
+// resolve their home node — DR-BW needs it to place LFB traffic on a
+// channel.
+func Resolve(s *Sample, m *topology.Machine, as *memsim.AddressSpace) {
+	s.SrcNode = m.NodeOfCPU(s.CPU)
+	s.HomeNode = as.NodeOf(s.Addr)
+	if s.HomeNode == topology.InvalidNode {
+		// Page not resident anywhere the page table can see (e.g. stack or
+		// never-touched page): treat as local, the kernel's fallback.
+		s.HomeNode = s.SrcNode
+	}
+}
+
+// Associate groups samples by directed channel. Samples that never left a
+// core's private caches (L1/L2) do not travel a channel and are grouped
+// under the source node's local channel, which is where their latency
+// context belongs.
+func Associate(samples []Sample) map[topology.Channel][]Sample {
+	out := make(map[topology.Channel][]Sample)
+	for _, s := range samples {
+		ch := s.Channel()
+		if s.Level == cache.L1 || s.Level == cache.L2 || s.Level == cache.L3 {
+			ch = topology.Channel{Src: s.SrcNode, Dst: s.SrcNode}
+		}
+		out[ch] = append(out[ch], s)
+	}
+	return out
+}
+
+// BySourceNode groups samples by the socket that issued them; feature
+// extraction evaluates each channel against its source socket's batch.
+func BySourceNode(samples []Sample) map[topology.NodeID][]Sample {
+	out := make(map[topology.NodeID][]Sample)
+	for _, s := range samples {
+		out[s.SrcNode] = append(out[s.SrcNode], s)
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package profiledata serializes DR-BW profiles — PEBS samples and the
+// allocation range table — so collection and analysis can run separately,
+// the way the real tool is used: profile a production run once, analyze
+// the recording as many times as needed (or feed in samples collected by
+// another tool entirely, e.g. converted `perf mem` output).
+//
+// Formats are line-oriented CSV with a header, chosen so recordings can be
+// produced and consumed by shell tooling:
+//
+//	samples:  time,cpu,thread,addr,level,latency,write,src_node,home_node
+//	objects:  id,name,func,file,line,base,size
+//
+// Addresses and bases are hexadecimal with an 0x prefix; levels are the
+// strings L1, L2, L3, LFB, MEM. Source and home node are recorded at
+// collection time (the profiler resolves them via the topology and the
+// page tables while the process is alive; they cannot be reconstructed
+// afterwards).
+package profiledata
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"drbw/internal/alloc"
+	"drbw/internal/cache"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+)
+
+var sampleHeader = []string{"time", "cpu", "thread", "addr", "level", "latency", "write", "src_node", "home_node"}
+
+// WriteSamples writes samples as CSV.
+func WriteSamples(w io.Writer, samples []pebs.Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sampleHeader); err != nil {
+		return fmt.Errorf("profiledata: %w", err)
+	}
+	for _, s := range samples {
+		rec := []string{
+			strconv.FormatFloat(s.Time, 'f', 0, 64),
+			strconv.Itoa(int(s.CPU)),
+			strconv.Itoa(s.Thread),
+			"0x" + strconv.FormatUint(s.Addr, 16),
+			s.Level.String(),
+			strconv.FormatFloat(s.Latency, 'f', 1, 64),
+			strconv.FormatBool(s.Write),
+			strconv.Itoa(int(s.SrcNode)),
+			strconv.Itoa(int(s.HomeNode)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("profiledata: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func parseLevel(s string) (cache.Level, error) {
+	switch s {
+	case "L1":
+		return cache.L1, nil
+	case "L2":
+		return cache.L2, nil
+	case "L3":
+		return cache.L3, nil
+	case "LFB":
+		return cache.LFB, nil
+	case "MEM":
+		return cache.MEM, nil
+	default:
+		return 0, fmt.Errorf("unknown memory level %q", s)
+	}
+}
+
+func parseAddr(s string) (uint64, error) {
+	if len(s) > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// ReadSamples parses a CSV sample recording.
+func ReadSamples(r io.Reader) ([]pebs.Sample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(sampleHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("profiledata: reading header: %w", err)
+	}
+	for i, h := range sampleHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("profiledata: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []pebs.Sample
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profiledata: line %d: %w", line, err)
+		}
+		var s pebs.Sample
+		if s.Time, err = strconv.ParseFloat(rec[0], 64); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d time: %w", line, err)
+		}
+		cpu, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("profiledata: line %d cpu: %w", line, err)
+		}
+		s.CPU = topology.CPUID(cpu)
+		if s.Thread, err = strconv.Atoi(rec[2]); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d thread: %w", line, err)
+		}
+		if s.Addr, err = parseAddr(rec[3]); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d addr: %w", line, err)
+		}
+		if s.Level, err = parseLevel(rec[4]); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d: %w", line, err)
+		}
+		if s.Latency, err = strconv.ParseFloat(rec[5], 64); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d latency: %w", line, err)
+		}
+		if s.Write, err = strconv.ParseBool(rec[6]); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d write: %w", line, err)
+		}
+		src, err := strconv.Atoi(rec[7])
+		if err != nil {
+			return nil, fmt.Errorf("profiledata: line %d src_node: %w", line, err)
+		}
+		home, err := strconv.Atoi(rec[8])
+		if err != nil {
+			return nil, fmt.Errorf("profiledata: line %d home_node: %w", line, err)
+		}
+		s.SrcNode, s.HomeNode = topology.NodeID(src), topology.NodeID(home)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+var objectHeader = []string{"id", "name", "func", "file", "line", "base", "size"}
+
+// WriteObjects writes the allocation range table as CSV. Freed objects are
+// skipped: their ranges no longer attribute.
+func WriteObjects(w io.Writer, objects []alloc.Object) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(objectHeader); err != nil {
+		return fmt.Errorf("profiledata: %w", err)
+	}
+	for _, o := range objects {
+		if o.Freed {
+			continue
+		}
+		rec := []string{
+			strconv.Itoa(int(o.ID)),
+			o.Name,
+			o.Site.Func,
+			o.Site.File,
+			strconv.Itoa(o.Site.Line),
+			"0x" + strconv.FormatUint(o.Base, 16),
+			strconv.FormatUint(o.Size, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("profiledata: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadObjects parses an allocation range table.
+func ReadObjects(r io.Reader) ([]alloc.Object, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(objectHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("profiledata: reading header: %w", err)
+	}
+	for i, h := range objectHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("profiledata: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out []alloc.Object
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profiledata: line %d: %w", line, err)
+		}
+		var o alloc.Object
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("profiledata: line %d id: %w", line, err)
+		}
+		o.ID = alloc.ObjectID(id)
+		o.Name = rec[1]
+		o.Site.Func = rec[2]
+		o.Site.File = rec[3]
+		if o.Site.Line, err = strconv.Atoi(rec[4]); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d line-number: %w", line, err)
+		}
+		if o.Base, err = parseAddr(rec[5]); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d base: %w", line, err)
+		}
+		if o.Size, err = strconv.ParseUint(rec[6], 10, 64); err != nil {
+			return nil, fmt.Errorf("profiledata: line %d size: %w", line, err)
+		}
+		if o.Size == 0 {
+			return nil, fmt.Errorf("profiledata: line %d: zero-size object", line)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Table is a standalone attribution range table built from a recorded
+// object list; it satisfies diagnose.Attributor for offline analysis.
+type Table struct {
+	objects []alloc.Object // sorted by base
+	byID    map[alloc.ObjectID]alloc.Object
+}
+
+// NewTable builds a table, rejecting overlapping ranges.
+func NewTable(objects []alloc.Object) (*Table, error) {
+	t := &Table{byID: make(map[alloc.ObjectID]alloc.Object, len(objects))}
+	t.objects = append(t.objects, objects...)
+	sort.Slice(t.objects, func(i, j int) bool { return t.objects[i].Base < t.objects[j].Base })
+	for i, o := range t.objects {
+		if _, dup := t.byID[o.ID]; dup {
+			return nil, fmt.Errorf("profiledata: duplicate object id %d", o.ID)
+		}
+		t.byID[o.ID] = o
+		if i > 0 {
+			prev := t.objects[i-1]
+			if prev.Base+prev.Size > o.Base {
+				return nil, fmt.Errorf("profiledata: objects %q and %q overlap", prev.Name, o.Name)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Lookup implements diagnose.Attributor.
+func (t *Table) Lookup(addr uint64) (alloc.ObjectID, bool) {
+	idx := sort.Search(len(t.objects), func(i int) bool { return t.objects[i].Base > addr })
+	if idx == 0 {
+		return alloc.NoObject, false
+	}
+	o := t.objects[idx-1]
+	if addr >= o.Base+o.Size {
+		return alloc.NoObject, false
+	}
+	return o.ID, true
+}
+
+// Object implements diagnose.Attributor.
+func (t *Table) Object(id alloc.ObjectID) alloc.Object { return t.byID[id] }
+
+// Len returns the number of ranges.
+func (t *Table) Len() int { return len(t.objects) }

@@ -1,0 +1,203 @@
+package program
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"drbw/internal/alloc"
+	"drbw/internal/engine"
+	"drbw/internal/memsim"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+func TestConfigLabels(t *testing.T) {
+	c := Config{Threads: 16, Nodes: 4}
+	if c.Label() != "T16-N4" {
+		t.Errorf("label = %q", c.Label())
+	}
+	if c.String() != "T16-N4" {
+		t.Errorf("string = %q", c.String())
+	}
+	c.Input = "native"
+	if c.String() != "T16-N4/native" {
+		t.Errorf("string with input = %q", c.String())
+	}
+}
+
+func TestStandardConfigs(t *testing.T) {
+	cfgs := StandardConfigs()
+	if len(cfgs) != 8 {
+		t.Fatalf("%d standard configs, want 8 (paper Section VII-A)", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		if c.Threads%c.Nodes != 0 {
+			t.Errorf("%s: threads not divisible by nodes", c.Label())
+		}
+		if seen[c.Label()] {
+			t.Errorf("duplicate config %s", c.Label())
+		}
+		seen[c.Label()] = true
+	}
+	for _, want := range []string{"T16-N4", "T64-N4", "T24-N3", "T32-N2"} {
+		if !seen[want] {
+			t.Errorf("missing config %s", want)
+		}
+	}
+}
+
+func testBuilder() Builder {
+	return Builder{
+		Name:   "toy",
+		Inputs: []string{"small", "large"},
+		Build: func(m *topology.Machine, cfg Config) (*Program, error) {
+			bind, err := engine.EvenBinding(m, cfg.Threads, cfg.Nodes)
+			if err != nil {
+				return nil, err
+			}
+			as := memsim.NewAddressSpace(m)
+			heap := alloc.NewHeap(as, 0x10000000)
+			obj, err := heap.Malloc("data", 1<<20, alloc.Site{Func: "main"}, memsim.BindTo(0))
+			if err != nil {
+				return nil, err
+			}
+			base := heap.Object(obj).Base
+			ph := trace.Phase{Name: "work"}
+			for i := 0; i < cfg.Threads; i++ {
+				ph.Threads = append(ph.Threads, trace.ThreadSpec{
+					Stream: &trace.Seq{Base: base, Len: 1 << 20, Elem: 8},
+					Ops:    1e4, MLP: 4, WorkCycles: 1,
+				})
+			}
+			return &Program{Machine: m, Space: as, Heap: heap, Binding: bind, Phases: []trace.Phase{ph}}, nil
+		},
+	}
+}
+
+func TestBuilderDefaults(t *testing.T) {
+	m := topology.Uniform(4, 8) // default T16-N2 needs 8 cores per node
+	p, err := testBuilder().New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cfg.Input != "small" {
+		t.Errorf("default input = %q, want first listed", p.Cfg.Input)
+	}
+	if p.Cfg.Threads != 16 || p.Cfg.Nodes != 2 {
+		t.Errorf("default config = %+v", p.Cfg)
+	}
+	if p.Name != "toy" {
+		t.Errorf("name = %q", p.Name)
+	}
+}
+
+func TestBuilderErrorWrapping(t *testing.T) {
+	m := topology.Uniform(2, 2)
+	// 16 threads on a 2x2 machine (4 CPUs) cannot bind.
+	_, err := testBuilder().New(m, Config{Threads: 16, Nodes: 2})
+	if err == nil {
+		t.Fatal("impossible binding accepted")
+	}
+	if want := "program toy"; len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Errorf("error not wrapped with program context: %v", err)
+	}
+}
+
+func TestProgramRunAndNodesUsed(t *testing.T) {
+	m := topology.Uniform(4, 4)
+	p, err := testBuilder().New(m, Config{Threads: 8, Nodes: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.NodesUsed()
+	if len(nodes) != 2 || nodes[0] != 0 || nodes[1] != 1 {
+		t.Errorf("nodes used = %v", nodes)
+	}
+	res, err := p.Run(engine.Config{Window: 1024, Warmup: 256, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 {
+		t.Error("run produced no cycles")
+	}
+	if _, ok := p.Object("data"); !ok {
+		t.Error("object lookup by name failed")
+	}
+	if _, ok := p.Object("nope"); ok {
+		t.Error("phantom object found")
+	}
+}
+
+func TestPartitionSeq(t *testing.T) {
+	parts := PartitionSeq(100, 3)
+	if len(parts) != 3 {
+		t.Fatalf("%d parts", len(parts))
+	}
+	var total uint64
+	var prevEnd uint64
+	for i, p := range parts {
+		if p.Off != prevEnd {
+			t.Errorf("part %d offset %d, want contiguous %d", i, p.Off, prevEnd)
+		}
+		prevEnd = p.Off + p.Len
+		total += p.Len
+	}
+	if total != 100 {
+		t.Errorf("parts cover %d bytes, want 100", total)
+	}
+	// Last part absorbs the remainder.
+	if parts[2].Len != 34 {
+		t.Errorf("last part = %d, want 34", parts[2].Len)
+	}
+}
+
+// Property: PartitionSeq always covers [0,total) exactly, contiguously.
+func TestPartitionSeqProperty(t *testing.T) {
+	f := func(totalSel uint16, threadSel uint8) bool {
+		total := uint64(totalSel) + 1
+		threads := int(threadSel%32) + 1
+		parts := PartitionSeq(total, threads)
+		if len(parts) != threads {
+			return false
+		}
+		var end uint64
+		for _, p := range parts {
+			if p.Off != end {
+				return false
+			}
+			end = p.Off + p.Len
+		}
+		return end == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSeedDefaulting(t *testing.T) {
+	m := topology.Uniform(2, 2)
+	p, err := testBuilder().New(m, Config{Threads: 4, Nodes: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-seed engine config inherits the program seed.
+	res1, err := p.Run(engine.Config{Window: 512, Warmup: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := testBuilder().New(m, Config{Threads: 4, Nodes: 2, Seed: 9})
+	res2, err := p2.Run(engine.Config{Window: 512, Warmup: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Cycles != res2.Cycles {
+		t.Error("same program seed gave different results")
+	}
+}
+
+func ExampleConfig_Label() {
+	fmt.Println(Config{Threads: 64, Nodes: 4}.Label())
+	// Output: T64-N4
+}

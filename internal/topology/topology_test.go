@@ -1,0 +1,194 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	base := Config{
+		Nodes: 2, CoresPerNode: 4, ThreadsPerCore: 1,
+		LocalBW: 16, RemoteBW: 4,
+		Latencies: Latencies{L1: 4, L2: 12, L3: 40, LocalDRAM: 200, RemoteDRAM: 300},
+		LineSize:  64, PageSize: 4096, HugePageSize: 2 << 20,
+	}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }},
+		{"negative cores", func(c *Config) { c.CoresPerNode = -1 }},
+		{"bad threads per core", func(c *Config) { c.ThreadsPerCore = 3 }},
+		{"zero local bw", func(c *Config) { c.LocalBW = 0 }},
+		{"zero remote bw", func(c *Config) { c.RemoteBW = 0 }},
+		{"line size not power of two", func(c *Config) { c.LineSize = 48 }},
+		{"page not multiple of line", func(c *Config) { c.PageSize = 1000 }},
+		{"huge page not multiple of page", func(c *Config) { c.HugePageSize = 4096 + 1 }},
+		{"non-monotone latency", func(c *Config) { c.Latencies.RemoteDRAM = 100 }},
+		{"zero L1 latency", func(c *Config) { c.Latencies.L1 = 0 }},
+		{"nonpositive override", func(c *Config) {
+			c.RemoteBWOverride = map[Channel]float64{{Src: 0, Dst: 1}: -1}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatalf("config %+v accepted, want error", cfg)
+			}
+		})
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	if got := (Channel{Src: 2, Dst: 2}).String(); got != "N2(local)" {
+		t.Errorf("local channel string = %q", got)
+	}
+	if got := (Channel{Src: 0, Dst: 3}).String(); got != "N0->N3" {
+		t.Errorf("remote channel string = %q", got)
+	}
+	if !(Channel{Src: 1, Dst: 1}).Local() {
+		t.Error("N1->N1 should be local")
+	}
+	if (Channel{Src: 1, Dst: 2}).Local() {
+		t.Error("N1->N2 should not be local")
+	}
+}
+
+func TestXeonPresetGeometry(t *testing.T) {
+	m := XeonE5_4650()
+	if got, want := m.Nodes(), 4; got != want {
+		t.Fatalf("Nodes = %d, want %d", got, want)
+	}
+	if got, want := m.NumCores(), 32; got != want {
+		t.Fatalf("NumCores = %d, want %d", got, want)
+	}
+	if got, want := m.NumCPUs(), 64; got != want {
+		t.Fatalf("NumCPUs = %d, want %d", got, want)
+	}
+	// Linux-style numbering: CPU 0 and CPU 32 are HT siblings on core 0.
+	if m.CoreOfCPU(0) != m.CoreOfCPU(32) {
+		t.Errorf("CPU 0 and 32 should share a core, got %d and %d", m.CoreOfCPU(0), m.CoreOfCPU(32))
+	}
+	if m.NodeOfCPU(0) != 0 || m.NodeOfCPU(8) != 1 || m.NodeOfCPU(31) != 3 {
+		t.Errorf("unexpected node mapping: cpu0=%d cpu8=%d cpu31=%d",
+			m.NodeOfCPU(0), m.NodeOfCPU(8), m.NodeOfCPU(31))
+	}
+	if m.NodeOfCPU(40) != 1 {
+		t.Errorf("HT sibling cpu40 should be on node 1, got %d", m.NodeOfCPU(40))
+	}
+}
+
+func TestNodeOfCPUOutOfRange(t *testing.T) {
+	m := Uniform(2, 2)
+	if m.NodeOfCPU(-1) != InvalidNode {
+		t.Error("negative CPU should map to InvalidNode")
+	}
+	if m.NodeOfCPU(CPUID(m.NumCPUs())) != InvalidNode {
+		t.Error("CPU beyond range should map to InvalidNode")
+	}
+	if m.CoreOfCPU(-1) != -1 || m.CoreOfCPU(CPUID(m.NumCPUs())) != -1 {
+		t.Error("out-of-range CPU should map to core -1")
+	}
+}
+
+func TestCPUsOfNodePartition(t *testing.T) {
+	m := XeonE5_4650()
+	seen := make(map[CPUID]bool)
+	for n := 0; n < m.Nodes(); n++ {
+		cpus := m.CPUsOfNode(NodeID(n))
+		if len(cpus) != 16 {
+			t.Fatalf("node %d has %d CPUs, want 16", n, len(cpus))
+		}
+		for _, c := range cpus {
+			if seen[c] {
+				t.Fatalf("CPU %d listed on two nodes", c)
+			}
+			seen[c] = true
+			if m.NodeOfCPU(c) != NodeID(n) {
+				t.Fatalf("CPU %d maps to node %d, listed under %d", c, m.NodeOfCPU(c), n)
+			}
+		}
+	}
+	if len(seen) != m.NumCPUs() {
+		t.Fatalf("nodes cover %d CPUs, want %d", len(seen), m.NumCPUs())
+	}
+}
+
+func TestChannelEnumeration(t *testing.T) {
+	m := Uniform(3, 2)
+	all := m.Channels()
+	if len(all) != 9 {
+		t.Fatalf("Channels() = %d entries, want 9", len(all))
+	}
+	remote := m.RemoteChannels()
+	if len(remote) != 6 {
+		t.Fatalf("RemoteChannels() = %d entries, want 6", len(remote))
+	}
+	for _, ch := range remote {
+		if ch.Local() {
+			t.Errorf("remote enumeration contains local channel %v", ch)
+		}
+	}
+	// Every channel must have a positive bandwidth.
+	for _, ch := range all {
+		if bw := m.Bandwidth(ch); bw <= 0 {
+			t.Errorf("channel %v has bandwidth %g", ch, bw)
+		}
+	}
+}
+
+func TestAsymmetricOverrides(t *testing.T) {
+	m := XeonE5_4650()
+	fwd := m.Bandwidth(Channel{Src: 0, Dst: 1})
+	back := m.Bandwidth(Channel{Src: 1, Dst: 0})
+	if fwd == back {
+		t.Errorf("expected asymmetric link 0<->1, both %g", fwd)
+	}
+	local := m.Bandwidth(Channel{Src: 0, Dst: 0})
+	if local <= fwd {
+		t.Errorf("local bandwidth %g should exceed remote %g", local, fwd)
+	}
+}
+
+func TestLocalFasterThanRemoteLatency(t *testing.T) {
+	for _, m := range []*Machine{XeonE5_4650(), TwoSocket(), Uniform(4, 4)} {
+		lat := m.Latencies()
+		if lat.LocalDRAM >= lat.RemoteDRAM {
+			t.Errorf("%s: local DRAM latency %g >= remote %g", m.Name(), lat.LocalDRAM, lat.RemoteDRAM)
+		}
+		if lat.L1 >= lat.LocalDRAM {
+			t.Errorf("%s: L1 %g >= DRAM %g", m.Name(), lat.L1, lat.LocalDRAM)
+		}
+	}
+}
+
+// Property: for any machine size, NodeOfCPU is consistent with CPUsOfNode.
+func TestNodeCPUConsistencyProperty(t *testing.T) {
+	f := func(nodes, cores uint8) bool {
+		n := int(nodes%4) + 1
+		c := int(cores%4) + 1
+		m := Uniform(n, c)
+		for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+			node := m.NodeOfCPU(CPUID(cpu))
+			found := false
+			for _, x := range m.CPUsOfNode(node) {
+				if x == CPUID(cpu) {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,388 @@
+// Package trace defines the access-stream abstraction that connects
+// workloads to the execution engine.
+//
+// A profiled program is modeled as a set of phases; each phase gives every
+// thread a Stream — a deterministic generator of the thread's representative
+// memory-access sequence — plus three scalars that characterize how the
+// thread executes it:
+//
+//   - Ops: how many memory accesses the thread performs over the whole phase
+//     (the stream itself is only sampled for a window; Ops scales it up).
+//   - MLP: memory-level parallelism — how many misses the core keeps in
+//     flight. Streaming vector code sustains MLP near the LFB count (~10 on
+//     Sandy Bridge); dependent pointer chasing is stuck at 1. MLP is what
+//     separates bandwidth-bound code (high DRAM demand, causes contention)
+//     from latency-bound code (high remote-access count, no contention) —
+//     the distinction at the heart of the paper's bandit micro benchmark.
+//   - WorkCycles: non-memory compute cycles per access.
+//
+// Streams are pure address generators; cache behaviour, page placement and
+// contention are applied by the engine.
+package trace
+
+import "math/rand"
+
+// Access is one memory reference.
+type Access struct {
+	Addr  uint64
+	Write bool
+}
+
+// Stream generates a thread's representative access sequence. Implementations
+// must be deterministic for a given Reset seed.
+type Stream interface {
+	// Next returns the next access. ok is false when the stream's natural
+	// window is exhausted; the engine then Resets it and keeps going, so
+	// finite streams behave as cyclic patterns.
+	Next() (a Access, ok bool)
+	// Reset rewinds the stream and reseeds its randomness.
+	Reset(seed uint64)
+}
+
+// ThreadSpec describes one thread of one phase.
+type ThreadSpec struct {
+	Stream     Stream
+	Ops        float64 // total accesses in the full phase execution
+	MLP        float64 // sustained memory-level parallelism (>= 1)
+	WorkCycles float64 // compute cycles per access (>= 0)
+}
+
+// Phase is one timed region of a workload (e.g. AMG's init/setup/solve).
+type Phase struct {
+	Name    string
+	Threads []ThreadSpec // indexed by thread ID
+}
+
+// --- Stream implementations ---
+
+// Seq scans [Base, Base+Len) with the given element size and stride,
+// wrapping at the end. It models blocked parallel-for loops: give each
+// thread its own sub-range.
+type Seq struct {
+	Base       uint64
+	Len        uint64 // bytes
+	Elem       uint64 // element size in bytes (e.g. 8 for doubles)
+	Stride     uint64 // elements to advance per access (1 = dense)
+	WriteEvery int    // every k-th access is a write; 0 = read-only
+
+	pos   uint64
+	count int
+}
+
+// Next implements Stream.
+func (s *Seq) Next() (Access, bool) {
+	if s.Len == 0 || s.Elem == 0 {
+		return Access{}, false
+	}
+	if s.pos+s.Elem > s.Len {
+		s.pos = 0
+		return Access{}, false // window boundary: one full pass done
+	}
+	a := Access{Addr: s.Base + s.pos}
+	s.count++
+	if s.WriteEvery > 0 && s.count%s.WriteEvery == 0 {
+		a.Write = true
+	}
+	stride := s.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	s.pos += s.Elem * stride
+	return a, true
+}
+
+// Reset implements Stream.
+func (s *Seq) Reset(uint64) { s.pos, s.count = 0, 0 }
+
+// Rand reads uniformly random elements of [Base, Base+Len). It models
+// irregular gather-style access (hash tables, streamcluster's point block).
+type Rand struct {
+	Base      uint64
+	Len       uint64
+	Elem      uint64
+	WriteFrac float64 // probability an access is a write
+
+	rng *rand.Rand
+}
+
+// Next implements Stream.
+func (r *Rand) Next() (Access, bool) {
+	if r.rng == nil {
+		r.Reset(1)
+	}
+	if r.Len == 0 || r.Elem == 0 {
+		return Access{}, false
+	}
+	elems := r.Len / r.Elem
+	if elems == 0 {
+		return Access{}, false
+	}
+	idx := uint64(r.rng.Int63n(int64(elems)))
+	a := Access{Addr: r.Base + idx*r.Elem}
+	if r.WriteFrac > 0 && r.rng.Float64() < r.WriteFrac {
+		a.Write = true
+	}
+	return a, true
+}
+
+// Reset implements Stream.
+func (r *Rand) Reset(seed uint64) { r.rng = rand.New(rand.NewSource(int64(seed) ^ 0x9e3779b9)) }
+
+// Chase is a pointer-chasing stream over an explicit list of addresses in a
+// fixed pseudo-random permutation order. The bandit micro benchmark builds
+// its address list so every access maps to the same cache sets, forcing
+// conflict misses that always reach DRAM.
+type Chase struct {
+	Addrs []uint64
+
+	order []int
+	pos   int
+}
+
+// Next implements Stream.
+func (c *Chase) Next() (Access, bool) {
+	if len(c.Addrs) == 0 {
+		return Access{}, false
+	}
+	if c.order == nil {
+		c.Reset(1)
+	}
+	if c.pos >= len(c.order) {
+		c.pos = 0
+		return Access{}, false
+	}
+	a := Access{Addr: c.Addrs[c.order[c.pos]]}
+	c.pos++
+	return a, true
+}
+
+// Reset implements Stream.
+func (c *Chase) Reset(seed uint64) {
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x5bf03635))
+	c.order = rng.Perm(len(c.Addrs))
+	c.pos = 0
+}
+
+// Gather models indexed indirection: each operation reads one element of an
+// index range sequentially, then one random element of a data range — the
+// CSR sparse-matrix pattern of CG and AMG.
+type Gather struct {
+	IndexBase, IndexLen uint64 // scanned sequentially, IndexElem-sized
+	IndexElem           uint64
+	DataBase, DataLen   uint64 // gathered randomly, DataElem-sized
+	DataElem            uint64
+
+	pos uint64
+	rng *rand.Rand
+	// phase alternates index/data access.
+	dataNext bool
+	pending  uint64
+}
+
+// Next implements Stream.
+func (g *Gather) Next() (Access, bool) {
+	if g.rng == nil {
+		g.Reset(1)
+	}
+	if g.dataNext {
+		g.dataNext = false
+		return Access{Addr: g.pending}, true
+	}
+	if g.IndexElem == 0 || g.DataElem == 0 || g.DataLen < g.DataElem {
+		return Access{}, false
+	}
+	if g.pos+g.IndexElem > g.IndexLen {
+		g.pos = 0
+		return Access{}, false
+	}
+	idx := Access{Addr: g.IndexBase + g.pos}
+	g.pos += g.IndexElem
+	elems := g.DataLen / g.DataElem
+	g.pending = g.DataBase + uint64(g.rng.Int63n(int64(elems)))*g.DataElem
+	g.dataNext = true
+	return idx, true
+}
+
+// Reset implements Stream.
+func (g *Gather) Reset(seed uint64) {
+	g.pos, g.dataNext = 0, false
+	g.rng = rand.New(rand.NewSource(int64(seed) ^ 0x2545f491))
+}
+
+// Stencil walks a 3D block [X,Y,Z] of Elem-sized cells owned by one thread
+// and touches the 7-point neighbourhood of each cell, reading from In and
+// writing the centre to Out. It models IRSmk/LULESH-style structured kernels.
+type Stencil struct {
+	InBase, OutBase uint64
+	X, Y, Z         uint64 // dimensions of this thread's block, in elements
+	Elem            uint64
+
+	i, j, k uint64
+	point   int
+}
+
+// offsets of a 7-point stencil in (dx,dy,dz).
+var stencilOffsets = [7][3]int64{
+	{0, 0, 0}, {-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1},
+}
+
+// Next implements Stream.
+func (s *Stencil) Next() (Access, bool) {
+	if s.X == 0 || s.Y == 0 || s.Z == 0 || s.Elem == 0 {
+		return Access{}, false
+	}
+	if s.k >= s.Z {
+		s.i, s.j, s.k, s.point = 0, 0, 0, 0
+		return Access{}, false
+	}
+	if s.point < len(stencilOffsets) {
+		off := stencilOffsets[s.point]
+		s.point++
+		x := clampIdx(int64(s.i)+off[0], s.X)
+		y := clampIdx(int64(s.j)+off[1], s.Y)
+		z := clampIdx(int64(s.k)+off[2], s.Z)
+		lin := (z*s.Y+y)*s.X + x
+		return Access{Addr: s.InBase + lin*s.Elem}, true
+	}
+	// Write the centre cell to Out, then advance.
+	lin := (s.k*s.Y+s.j)*s.X + s.i
+	a := Access{Addr: s.OutBase + lin*s.Elem, Write: true}
+	s.point = 0
+	s.i++
+	if s.i >= s.X {
+		s.i = 0
+		s.j++
+		if s.j >= s.Y {
+			s.j = 0
+			s.k++
+		}
+	}
+	return a, true
+}
+
+// Reset implements Stream.
+func (s *Stencil) Reset(uint64) { s.i, s.j, s.k, s.point = 0, 0, 0, 0 }
+
+func clampIdx(v int64, n uint64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	if v >= int64(n) {
+		return n - 1
+	}
+	return uint64(v)
+}
+
+// Mix interleaves several streams with integer weights: out of
+// sum(weights) consecutive accesses, stream i contributes Weights[i].
+// Sub-streams with different window lengths recycle independently: when one
+// exhausts its window it is Reset alone, so a short stream (a per-thread
+// scratch buffer, say) can loop many times per pass of a long one.
+type Mix struct {
+	Streams []Stream
+	Weights []int
+
+	pos, within int
+	seed        uint64
+	recycles    uint64
+}
+
+// Next implements Stream.
+func (m *Mix) Next() (Access, bool) {
+	if len(m.Streams) == 0 || len(m.Streams) != len(m.Weights) {
+		return Access{}, false
+	}
+	for tries := 0; tries < 4*len(m.Streams); tries++ {
+		w := m.Weights[m.pos]
+		if m.within >= w {
+			m.within = 0
+			m.pos = (m.pos + 1) % len(m.Streams)
+			continue
+		}
+		a, ok := m.Streams[m.pos].Next()
+		if !ok {
+			// Recycle just this sub-stream and try it again.
+			m.recycles++
+			m.Streams[m.pos].Reset(m.seed + m.recycles*0x9e3779b97f4a7c15)
+			a, ok = m.Streams[m.pos].Next()
+			if !ok {
+				// Degenerate sub-stream: skip it permanently this round.
+				m.within = 0
+				m.pos = (m.pos + 1) % len(m.Streams)
+				continue
+			}
+		}
+		m.within++
+		return a, true
+	}
+	return Access{}, false
+}
+
+// Reset implements Stream.
+func (m *Mix) Reset(seed uint64) {
+	m.pos, m.within = 0, 0
+	m.seed = seed
+	m.recycles = 0
+	for i, s := range m.Streams {
+		s.Reset(seed + uint64(i)*0x9e3779b97f4a7c15)
+	}
+}
+
+// Wavefront models the Needleman-Wunsch anti-diagonal sweep over an N×N
+// score matrix: each step reads the west, north and north-west neighbours
+// and writes the cell. Threads share the matrix; each instance walks its own
+// strip of rows.
+type Wavefront struct {
+	Base     uint64
+	N        uint64 // matrix is N×N Elem-sized cells
+	Elem     uint64
+	RowFirst uint64 // first row of this thread's strip
+	RowCount uint64
+
+	row, col uint64
+	point    int
+}
+
+// Next implements Stream.
+func (w *Wavefront) Next() (Access, bool) {
+	if w.N == 0 || w.Elem == 0 || w.RowCount == 0 {
+		return Access{}, false
+	}
+	if w.row >= w.RowCount {
+		w.row, w.col, w.point = 0, 0, 0
+		return Access{}, false
+	}
+	r := w.RowFirst + w.row
+	cell := func(rr, cc uint64) uint64 { return w.Base + (rr*w.N+cc)*w.Elem }
+	var a Access
+	switch w.point {
+	case 0: // west
+		a = Access{Addr: cell(r, sub1(w.col))}
+	case 1: // north
+		a = Access{Addr: cell(sub1(r), w.col)}
+	case 2: // north-west
+		a = Access{Addr: cell(sub1(r), sub1(w.col))}
+	case 3: // write self
+		a = Access{Addr: cell(r, w.col), Write: true}
+	}
+	w.point++
+	if w.point == 4 {
+		w.point = 0
+		w.col++
+		if w.col >= w.N {
+			w.col = 0
+			w.row++
+		}
+	}
+	return a, true
+}
+
+// Reset implements Stream.
+func (w *Wavefront) Reset(uint64) { w.row, w.col, w.point = 0, 0, 0 }
+
+func sub1(v uint64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return v - 1
+}

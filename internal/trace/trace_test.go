@@ -1,0 +1,307 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// drain pulls up to limit accesses, resetting across window boundaries at
+// most maxWindows times.
+func drain(s Stream, limit, maxWindows int) []Access {
+	var out []Access
+	windows := 0
+	s.Reset(1)
+	for len(out) < limit && windows < maxWindows {
+		a, ok := s.Next()
+		if !ok {
+			windows++
+			s.Reset(uint64(windows + 1))
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+func TestSeqDense(t *testing.T) {
+	s := &Seq{Base: 1000, Len: 64, Elem: 8}
+	got := drain(s, 8, 1)
+	if len(got) != 8 {
+		t.Fatalf("got %d accesses, want 8", len(got))
+	}
+	for i, a := range got {
+		if want := uint64(1000 + i*8); a.Addr != want {
+			t.Fatalf("access %d addr %d, want %d", i, a.Addr, want)
+		}
+		if a.Write {
+			t.Fatalf("read-only Seq produced a write at %d", i)
+		}
+	}
+	// Window boundary then wrap-around.
+	if _, ok := s.Next(); ok {
+		t.Fatal("expected window boundary after full pass")
+	}
+	a, ok := s.Next()
+	if !ok || a.Addr != 1000 {
+		t.Fatalf("after boundary got %+v,%v; want wrap to base", a, ok)
+	}
+}
+
+func TestSeqStrideAndWrites(t *testing.T) {
+	s := &Seq{Base: 0, Len: 640, Elem: 8, Stride: 4, WriteEvery: 2}
+	got := drain(s, 10, 1)
+	if got[1].Addr != 32 {
+		t.Fatalf("stride 4 advanced to %d, want 32", got[1].Addr)
+	}
+	writes := 0
+	for _, a := range got {
+		if a.Write {
+			writes++
+		}
+	}
+	if writes != 5 {
+		t.Fatalf("WriteEvery=2 gave %d writes of 10, want 5", writes)
+	}
+}
+
+func TestSeqDegenerate(t *testing.T) {
+	s := &Seq{}
+	if _, ok := s.Next(); ok {
+		t.Fatal("zero-length Seq produced an access")
+	}
+}
+
+func TestRandStaysInRange(t *testing.T) {
+	r := &Rand{Base: 4096, Len: 8192, Elem: 8, WriteFrac: 0.3}
+	got := drain(r, 2000, 1)
+	if len(got) != 2000 {
+		t.Fatalf("Rand should be unbounded, got %d", len(got))
+	}
+	writes := 0
+	for _, a := range got {
+		if a.Addr < 4096 || a.Addr >= 4096+8192 {
+			t.Fatalf("address %d out of range", a.Addr)
+		}
+		if (a.Addr-4096)%8 != 0 {
+			t.Fatalf("address %d not element-aligned", a.Addr)
+		}
+		if a.Write {
+			writes++
+		}
+	}
+	if writes < 400 || writes > 800 {
+		t.Errorf("write fraction off: %d/2000 writes for 0.3", writes)
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	a := &Rand{Base: 0, Len: 1 << 20, Elem: 8}
+	b := &Rand{Base: 0, Len: 1 << 20, Elem: 8}
+	a.Reset(7)
+	b.Reset(7)
+	for i := 0; i < 100; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x != y {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+	b.Reset(8)
+	same := true
+	a.Reset(7)
+	for i := 0; i < 100; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x != y {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestChaseVisitsAllOnce(t *testing.T) {
+	addrs := []uint64{10, 20, 30, 40, 50}
+	c := &Chase{Addrs: addrs}
+	c.Reset(3)
+	seen := map[uint64]int{}
+	for i := 0; i < len(addrs); i++ {
+		a, ok := c.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		seen[a.Addr]++
+	}
+	for _, addr := range addrs {
+		if seen[addr] != 1 {
+			t.Fatalf("address %d visited %d times", addr, seen[addr])
+		}
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("expected window boundary after full permutation")
+	}
+	if a, ok := c.Next(); !ok || seen[a.Addr] == 0 {
+		t.Fatal("chase did not wrap after boundary")
+	}
+}
+
+func TestChaseEmpty(t *testing.T) {
+	c := &Chase{}
+	if _, ok := c.Next(); ok {
+		t.Fatal("empty chase produced an access")
+	}
+}
+
+func TestGatherAlternates(t *testing.T) {
+	g := &Gather{
+		IndexBase: 0, IndexLen: 800, IndexElem: 4,
+		DataBase: 1 << 20, DataLen: 1 << 16, DataElem: 8,
+	}
+	got := drain(g, 20, 1)
+	for i := 0; i < 20; i += 2 {
+		if got[i].Addr >= 1<<20 {
+			t.Fatalf("access %d should be an index read, got data addr %#x", i, got[i].Addr)
+		}
+		if got[i+1].Addr < 1<<20 {
+			t.Fatalf("access %d should be a data gather, got %#x", i+1, got[i+1].Addr)
+		}
+	}
+	// Index reads advance sequentially.
+	if got[2].Addr != got[0].Addr+4 {
+		t.Errorf("index scan not sequential: %d then %d", got[0].Addr, got[2].Addr)
+	}
+}
+
+func TestStencilTouchesNeighbours(t *testing.T) {
+	s := &Stencil{InBase: 0, OutBase: 1 << 20, X: 4, Y: 4, Z: 4, Elem: 8}
+	got := drain(s, 8, 1)
+	// First cell (0,0,0): 7 reads (clamped at boundaries) then 1 write.
+	for i := 0; i < 7; i++ {
+		if got[i].Write || got[i].Addr >= 1<<20 {
+			t.Fatalf("access %d should be an In read: %+v", i, got[i])
+		}
+	}
+	if !got[7].Write || got[7].Addr != 1<<20 {
+		t.Fatalf("access 7 should write Out[0]: %+v", got[7])
+	}
+	// Full pass visits X*Y*Z cells × 8 accesses.
+	s.Reset(0)
+	count := 0
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 4*4*4*8 {
+		t.Fatalf("full stencil pass = %d accesses, want %d", count, 4*4*4*8)
+	}
+}
+
+func TestWavefrontPattern(t *testing.T) {
+	w := &Wavefront{Base: 0, N: 8, Elem: 4, RowFirst: 2, RowCount: 2}
+	got := drain(w, 8, 1)
+	// Cell (2,0): west clamps to col 0, north is row 1, etc.
+	cell := func(r, c uint64) uint64 { return (r*8 + c) * 4 }
+	want := []struct {
+		addr  uint64
+		write bool
+	}{
+		{cell(2, 0), false}, {cell(1, 0), false}, {cell(1, 0), false}, {cell(2, 0), true},
+		{cell(2, 0), false}, {cell(1, 1), false}, {cell(1, 0), false}, {cell(2, 1), true},
+	}
+	for i, wa := range want {
+		if got[i].Addr != wa.addr || got[i].Write != wa.write {
+			t.Fatalf("access %d = %+v, want addr %d write %v", i, got[i], wa.addr, wa.write)
+		}
+	}
+	// Full strip = RowCount*N cells × 4 accesses.
+	w.Reset(0)
+	count := 0
+	for {
+		_, ok := w.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	if count != 2*8*4 {
+		t.Fatalf("wavefront strip = %d accesses, want %d", count, 2*8*4)
+	}
+}
+
+func TestMixRespectsWeights(t *testing.T) {
+	a := &Seq{Base: 0, Len: 1 << 20, Elem: 8}
+	b := &Seq{Base: 1 << 30, Len: 1 << 20, Elem: 8}
+	m := &Mix{Streams: []Stream{a, b}, Weights: []int{3, 1}}
+	got := drain(m, 400, 1)
+	var fromA int
+	for _, acc := range got {
+		if acc.Addr < 1<<30 {
+			fromA++
+		}
+	}
+	if fromA != 300 {
+		t.Fatalf("stream A contributed %d of 400, want 300", fromA)
+	}
+}
+
+func TestMixMismatchedWeights(t *testing.T) {
+	m := &Mix{Streams: []Stream{&Seq{Base: 0, Len: 64, Elem: 8}}, Weights: nil}
+	if _, ok := m.Next(); ok {
+		t.Fatal("mismatched Mix produced an access")
+	}
+}
+
+// Property: Seq addresses are always within [Base, Base+Len) and aligned.
+func TestSeqBoundsProperty(t *testing.T) {
+	f := func(lenSel uint16, elemSel, strideSel uint8) bool {
+		elem := uint64(elemSel%16) + 1
+		length := uint64(lenSel%4096) + elem
+		s := &Seq{Base: 1 << 20, Len: length, Elem: elem, Stride: uint64(strideSel % 8)}
+		s.Reset(0)
+		for i := 0; i < 1000; i++ {
+			a, ok := s.Next()
+			if !ok {
+				s.Reset(0)
+				continue
+			}
+			if a.Addr < 1<<20 || a.Addr+elem > 1<<20+length {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Chase permutation covers every address exactly once per window
+// for any seed.
+func TestChasePermutationProperty(t *testing.T) {
+	f := func(seed uint16, nSel uint8) bool {
+		n := int(nSel%32) + 1
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = uint64(i) * 64
+		}
+		c := &Chase{Addrs: addrs}
+		c.Reset(uint64(seed))
+		seen := make(map[uint64]bool)
+		for i := 0; i < n; i++ {
+			a, ok := c.Next()
+			if !ok || seen[a.Addr] {
+				return false
+			}
+			seen[a.Addr] = true
+		}
+		_, ok := c.Next()
+		return !ok && len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package workloads provides synthetic proxies for the 23 benchmarks of the
+// paper's evaluation (Section VII): NPB, PARSEC, Rodinia NW, Sequoia
+// (AMG2006, IRSmk) and LULESH.
+//
+// Each proxy reproduces the benchmark's *memory access pattern* — data
+// objects and their allocation sites, sharing structure, footprint scaling
+// with input size, initialization (and therefore first-touch placement),
+// phase structure, compute intensity and memory-level parallelism — because
+// those are what determine the sample statistics DR-BW classifies and the
+// contention the engine models. Numeric kernels themselves are not
+// reproduced; they are irrelevant to bandwidth behaviour.
+//
+// The decisive distinctions, mirroring the paper's findings:
+//
+//   - "good" benchmarks either fit in cache, are compute bound, or
+//     initialize their data in parallel so first-touch co-locates pages
+//     with the threads that use them;
+//   - "rmc" benchmarks allocate or initialize their hot arrays on the
+//     master thread, concentrating every page on node 0 and saturating the
+//     channels into that node once enough threads run on other sockets;
+//   - borderline benchmarks (Fluidanimate, FT, UA) drive shared channels
+//     near — but not past — saturation, which inflates latencies enough to
+//     trip the classifier while whole-program interleaving gains < 10%:
+//     the paper's false-positive rows in Table V.
+package workloads
+
+import (
+	"fmt"
+
+	"drbw/internal/alloc"
+	"drbw/internal/engine"
+	"drbw/internal/memsim"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// build is the common preamble of every proxy: an address space, heap and
+// even thread binding.
+func build(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+	bind, err := engine.EvenBinding(m, cfg.Threads, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	as := memsim.NewAddressSpace(m)
+	heap := alloc.NewHeap(as, 0x10000000)
+	return &program.Program{
+		Machine: m, Space: as, Heap: heap, Binding: bind,
+	}, nil
+}
+
+// nodesOf lists the node IDs 0..n-1 used by a config.
+func nodesOf(cfg program.Config) []topology.NodeID {
+	out := make([]topology.NodeID, cfg.Nodes)
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	return out
+}
+
+// masterAlloc allocates an object and first-touches every page on node 0 —
+// the serial-initialization pattern that causes the paper's contention.
+func masterAlloc(p *program.Program, name string, size uint64, site alloc.Site) (alloc.Object, error) {
+	id, err := p.Heap.Malloc(name, size, site, memsim.FirstTouchPolicy())
+	if err != nil {
+		return alloc.Object{}, err
+	}
+	p.Heap.TouchAll(id, 0)
+	return p.Heap.Object(id), nil
+}
+
+// parallelAlloc allocates an object whose pages are first-touched by a
+// blocked parallel loop: each node gets the share its threads will use.
+func parallelAlloc(p *program.Program, cfg program.Config, name string, size uint64, site alloc.Site) (alloc.Object, error) {
+	id, err := p.Heap.Malloc(name, size, site, memsim.FirstTouchPolicy())
+	if err != nil {
+		return alloc.Object{}, err
+	}
+	p.Heap.TouchPartitioned(id, nodesOf(cfg))
+	return p.Heap.Object(id), nil
+}
+
+// staticAlloc maps a region directly in the address space without a heap
+// entry: the program's static/global data, which DR-BW's profiler does not
+// track (SP and parts of LULESH). Pages land on node 0 like the data
+// segment of a process started there.
+func staticAlloc(p *program.Program, base, size uint64) (uint64, error) {
+	if err := p.Space.Map(base, size, memsim.BindTo(0), false); err != nil {
+		return 0, err
+	}
+	return base, nil
+}
+
+// threadSlices partitions an object across threads (blocked, like an OpenMP
+// static schedule) and returns each thread's base address and length.
+func threadSlices(o alloc.Object, threads int) []struct{ Base, Len uint64 } {
+	parts := program.PartitionSeq(o.Size, threads)
+	out := make([]struct{ Base, Len uint64 }, threads)
+	for i, pt := range parts {
+		out[i].Base = o.Base + pt.Off
+		out[i].Len = pt.Len
+	}
+	return out
+}
+
+// blockedPhase builds a phase where every thread scans its own share of each
+// listed object (weights equal), with opsPerThread accesses total.
+func blockedPhase(name string, objs []alloc.Object, threads int, opsPerThread, mlp, work float64) trace.Phase {
+	ph := trace.Phase{Name: name}
+	for t := 0; t < threads; t++ {
+		var streams []trace.Stream
+		var weights []int
+		for _, o := range objs {
+			sl := threadSlices(o, threads)[t]
+			streams = append(streams, &trace.Seq{Base: sl.Base, Len: sl.Len, Elem: 8})
+			weights = append(weights, 1)
+		}
+		var s trace.Stream
+		if len(streams) == 1 {
+			s = streams[0]
+		} else {
+			s = &trace.Mix{Streams: streams, Weights: weights}
+		}
+		ph.Threads = append(ph.Threads, trace.ThreadSpec{
+			Stream: s, Ops: opsPerThread, MLP: mlp, WorkCycles: work,
+		})
+	}
+	return ph
+}
+
+// sharedRandomPhase builds a phase where every thread performs uniform
+// random reads over the whole of each object (streamcluster's block).
+func sharedRandomPhase(name string, objs []alloc.Object, threads int, opsPerThread, mlp, work float64) trace.Phase {
+	ph := trace.Phase{Name: name}
+	for t := 0; t < threads; t++ {
+		var streams []trace.Stream
+		var weights []int
+		for _, o := range objs {
+			streams = append(streams, &trace.Rand{Base: o.Base, Len: o.Size, Elem: 8})
+			weights = append(weights, 1)
+		}
+		var s trace.Stream
+		if len(streams) == 1 {
+			s = streams[0]
+		} else {
+			s = &trace.Mix{Streams: streams, Weights: weights}
+		}
+		ph.Threads = append(ph.Threads, trace.ThreadSpec{
+			Stream: s, Ops: opsPerThread, MLP: mlp, WorkCycles: work,
+		})
+	}
+	return ph
+}
+
+// serialInitPhase models a master thread writing all objects once, the
+// phase in which serial first-touch happens (AMG's init).
+func serialInitPhase(name string, objs []alloc.Object, threads int, mlp float64) trace.Phase {
+	ph := trace.Phase{Name: name, Threads: make([]trace.ThreadSpec, threads)}
+	var streams []trace.Stream
+	var weights []int
+	var bytes uint64
+	for _, o := range objs {
+		streams = append(streams, &trace.Seq{Base: o.Base, Len: o.Size, Elem: 8, WriteEvery: 1})
+		weights = append(weights, 1)
+		bytes += o.Size
+	}
+	if len(streams) == 0 {
+		return ph
+	}
+	var s trace.Stream
+	if len(streams) == 1 {
+		s = streams[0]
+	} else {
+		s = &trace.Mix{Streams: streams, Weights: weights}
+	}
+	ph.Threads[0] = trace.ThreadSpec{
+		Stream: s, Ops: float64(bytes / 8), MLP: mlp, WorkCycles: 1,
+	}
+	return ph
+}
+
+// inputScale looks up an input name in a table, erroring on unknown names.
+func inputScale(table map[string]uint64, input string) (uint64, error) {
+	v, ok := table[input]
+	if !ok {
+		return 0, fmt.Errorf("unknown input %q", input)
+	}
+	return v, nil
+}
+
+// site builds an allocation site with the benchmark's source file.
+func site(fn, file string, line int) alloc.Site { return alloc.Site{Func: fn, File: file, Line: line} }
+
+// errUnknownInput reports an input name the benchmark does not define.
+func errUnknownInput(input string) error { return fmt.Errorf("unknown input %q", input) }

@@ -1,0 +1,340 @@
+package workloads
+
+import (
+	"drbw/internal/alloc"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+// PARSEC input sets, smallest to largest.
+var parsecInputs = []string{"simSmall", "simMedium", "simLarge", "native"}
+
+// parsecScale maps the four input sets to a footprint multiplier.
+func parsecScale(input string) (uint64, error) {
+	return inputScale(map[string]uint64{
+		"simSmall": 1, "simMedium": 2, "simLarge": 4, "native": 8,
+	}, input)
+}
+
+// Swaptions: Monte-Carlo swaption pricing — embarrassingly parallel,
+// compute bound, tiny per-thread state. Class: good.
+func Swaptions() program.Builder {
+	return program.Builder{
+		Name:   "Swaptions",
+		Inputs: parsecInputs,
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := parsecScale(cfg.Input)
+			if err != nil {
+				return nil, err
+			}
+			o, err := parallelAlloc(p, cfg, "pdSwaptionPrice", uint64(cfg.Threads)*64*kb,
+				site("worker", "HJM_Securities.cpp", 112))
+			if err != nil {
+				return nil, err
+			}
+			p.Phases = []trace.Phase{blockedPhase("simulate",
+				[]alloc.Object{o}, cfg.Threads, float64(scale)*4e5, 2, 25)}
+			return p, nil
+		},
+	}
+}
+
+// Blackscholes: one big option buffer scanned in a blocked parallel-for,
+// initialized in parallel (co-located first touch) and dominated by
+// per-option math. Class: good — but its `buffer` carries the highest CF,
+// the paper's Section VIII-G negative control.
+func Blackscholes() program.Builder {
+	return program.Builder{
+		Name:   "Blackscholes",
+		Inputs: parsecInputs,
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := parsecScale(cfg.Input)
+			if err != nil {
+				return nil, err
+			}
+			buffer, err := parallelAlloc(p, cfg, "buffer", scale*32*mb,
+				site("bs_thread", "blackscholes.c", 310))
+			if err != nil {
+				return nil, err
+			}
+			prices, err := parallelAlloc(p, cfg, "prices", scale*8*mb,
+				site("main", "blackscholes.c", 392))
+			if err != nil {
+				return nil, err
+			}
+			ph := blockedPhase("price", []alloc.Object{buffer, buffer, buffer, prices},
+				cfg.Threads, 2e6, 4, 12)
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// Bodytrack: particle-filter body tracking — a small shared read-only model
+// plus per-thread particles; compute heavy. Class: good. The paper runs two
+// input sets (16 cases).
+func Bodytrack() program.Builder {
+	return program.Builder{
+		Name:   "Bodytrack",
+		Inputs: []string{"simMedium", "simLarge"},
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := parsecScale(cfg.Input)
+			if err != nil {
+				return nil, err
+			}
+			model, err := masterAlloc(p, "bodyModel", scale*2*mb,
+				site("BodyGeometry::load", "BodyGeometry.cpp", 88))
+			if err != nil {
+				return nil, err
+			}
+			particles, err := parallelAlloc(p, cfg, "particles", uint64(cfg.Threads)*256*kb,
+				site("ParticleFilter::init", "ParticleFilter.h", 140))
+			if err != nil {
+				return nil, err
+			}
+			ph := blockedPhase("track", []alloc.Object{particles, particles, model},
+				cfg.Threads, 1.5e6, 3, 14)
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// Freqmine: FP-growth frequent itemset mining — pointer-heavy tree walks
+// over a co-located database with good cache behaviour. Class: good.
+func Freqmine() program.Builder {
+	return program.Builder{
+		Name:   "Freqmine",
+		Inputs: parsecInputs,
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := parsecScale(cfg.Input)
+			if err != nil {
+				return nil, err
+			}
+			tree, err := parallelAlloc(p, cfg, "fp_tree", scale*24*mb,
+				site("FP_tree::scan2_DB", "fp_tree.cpp", 676))
+			if err != nil {
+				return nil, err
+			}
+			ph := blockedPhase("mine", []alloc.Object{tree}, cfg.Threads, 1.8e6, 3, 10)
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// Ferret: content-based similarity search; the image database is loaded by
+// the parallel pipeline stages so its pages spread across nodes, and the
+// ranking stage is compute heavy. Class: good.
+func Ferret() program.Builder {
+	return program.Builder{
+		Name:   "Ferret",
+		Inputs: parsecInputs,
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := parsecScale(cfg.Input)
+			if err != nil {
+				return nil, err
+			}
+			db, err := parallelAlloc(p, cfg, "imageDB", scale*16*mb,
+				site("cass_table_load", "cass_table.c", 209))
+			if err != nil {
+				return nil, err
+			}
+			ph := sharedRandomPhase("rank", []alloc.Object{db}, cfg.Threads, 1e6, 2, 26)
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// Fluidanimate: SPH fluid simulation. Particle arrays are co-located, but
+// the shared cell grid is built by the master thread, so a quarter of the
+// accesses aim at node 0. Near the largest configurations this drives the
+// node-0 controller close to — not past — saturation: latencies inflate
+// enough to trip the classifier on a few cases while interleaving gains
+// under 10%. Class: good (the paper's 4 false-positive cases).
+func Fluidanimate() program.Builder {
+	return program.Builder{
+		Name:   "Fluidanimate",
+		Inputs: parsecInputs,
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := parsecScale(cfg.Input)
+			if err != nil {
+				return nil, err
+			}
+			cells, err := masterAlloc(p, "cells", scale*24*mb,
+				site("InitSim", "pthreads.cpp", 441))
+			if err != nil {
+				return nil, err
+			}
+			particles, err := parallelAlloc(p, cfg, "particles", scale*24*mb,
+				site("InitSim", "pthreads.cpp", 476))
+			if err != nil {
+				return nil, err
+			}
+			ph := trace.Phase{Name: "advance"}
+			slices := threadSlices(particles, cfg.Threads)
+			for t := 0; t < cfg.Threads; t++ {
+				s := &trace.Mix{
+					Streams: []trace.Stream{
+						&trace.Seq{Base: slices[t].Base, Len: slices[t].Len, Elem: 8, WriteEvery: 4},
+						&trace.Rand{Base: cells.Base, Len: cells.Size, Elem: 8},
+					},
+					Weights: []int{9, 1},
+				}
+				ph.Threads = append(ph.Threads, trace.ThreadSpec{
+					Stream: s, Ops: 1.6e6, MLP: 4, WorkCycles: 10,
+				})
+			}
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// Raytrace: read-only scene shared by all threads but small enough to stay
+// cache resident; per-ray work dominates. Class: good. (Listed in Table IV
+// only; the paper's Table V omits it.)
+func Raytrace() program.Builder {
+	return program.Builder{
+		Name:   "Raytrace",
+		Inputs: parsecInputs,
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := parsecScale(cfg.Input)
+			if err != nil {
+				return nil, err
+			}
+			scene, err := masterAlloc(p, "scene", scale*1*mb,
+				site("LoadScene", "RTTL.cxx", 1204))
+			if err != nil {
+				return nil, err
+			}
+			ph := sharedRandomPhase("render", []alloc.Object{scene}, cfg.Threads,
+				float64(scale)*4e5, 2, 20)
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// X264: H.264 encoding — threads stream over their own frame slices
+// (co-located) with motion-estimation compute in between. Class: good.
+func X264() program.Builder {
+	return program.Builder{
+		Name:   "X264",
+		Inputs: parsecInputs,
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			scale, err := parsecScale(cfg.Input)
+			if err != nil {
+				return nil, err
+			}
+			frames, err := parallelAlloc(p, cfg, "frames", scale*32*mb,
+				site("x264_frame_new", "frame.c", 55))
+			if err != nil {
+				return nil, err
+			}
+			refs, err := parallelAlloc(p, cfg, "ref_frames", scale*16*mb,
+				site("x264_frame_new", "frame.c", 71))
+			if err != nil {
+				return nil, err
+			}
+			ph := blockedPhase("encode", []alloc.Object{frames, refs},
+				cfg.Threads, 2e6, 6, 10)
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// Streamcluster: online clustering. The `block` of input points is
+// allocated and initialized by the main thread and then read at random by
+// every worker for distance computations — the textbook remote-bandwidth
+// pathology the paper verifies (13/16 cases actually contended; the fix is
+// replication, Figure 7). Class: rmc.
+func Streamcluster() program.Builder {
+	return program.Builder{
+		Name:   "Streamcluster",
+		Inputs: []string{"simLarge", "native"},
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var blockMB, pMB uint64
+			switch cfg.Input {
+			case "simLarge":
+				blockMB, pMB = 48, 16
+			case "native":
+				blockMB, pMB = 192, 64
+			default:
+				return nil, errUnknownInput(cfg.Input)
+			}
+			block, err := masterAlloc(p, "block", blockMB*mb,
+				site("main", "streamcluster.cpp", 1838))
+			if err != nil {
+				return nil, err
+			}
+			pointP, err := masterAlloc(p, "point.p", pMB*mb,
+				site("SimStream::read", "streamcluster.cpp", 1120))
+			if err != nil {
+				return nil, err
+			}
+			centers, err := parallelAlloc(p, cfg, "centers", 2*mb,
+				site("pkmedian", "streamcluster.cpp", 980))
+			if err != nil {
+				return nil, err
+			}
+			ph := trace.Phase{Name: "pgain"}
+			pSlices := threadSlices(pointP, cfg.Threads)
+			cSlices := threadSlices(centers, cfg.Threads)
+			for t := 0; t < cfg.Threads; t++ {
+				s := &trace.Mix{
+					Streams: []trace.Stream{
+						&trace.Rand{Base: block.Base, Len: block.Size, Elem: 8},
+						&trace.Seq{Base: pSlices[t].Base, Len: pSlices[t].Len, Elem: 8},
+						&trace.Seq{Base: cSlices[t].Base, Len: cSlices[t].Len, Elem: 8, WriteEvery: 2},
+					},
+					Weights: []int{6, 2, 2},
+				}
+				ph.Threads = append(ph.Threads, trace.ThreadSpec{
+					Stream: s, Ops: 2e6, MLP: 6, WorkCycles: 2,
+				})
+			}
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}

@@ -1,0 +1,279 @@
+package workloads
+
+import (
+	"fmt"
+
+	"drbw/internal/alloc"
+	"drbw/internal/program"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+// AMG2006: LLNL's algebraic multigrid solver. Three phases — init, setup,
+// solve. The coarse-grid operator arrays (RAP_diag_j and friends) are
+// allocated and filled during the serial parts of setup, so every page
+// lands on node 0; the OpenMP solve loops then hammer them from all
+// sockets. Class: rmc on all 8 cases (Table V), fixed by co-locating the
+// four arrays Figure 4(a) blames.
+func AMG2006() program.Builder {
+	return program.Builder{
+		Name:   "AMG2006",
+		Inputs: []string{"30x30x30"},
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Input != "30x30x30" {
+				return nil, errUnknownInput(cfg.Input)
+			}
+			mk := func(name string, sizeMB uint64, line int) (alloc.Object, error) {
+				return masterAlloc(p, name, sizeMB*mb,
+					site("hypre_CSRMatrixInitialize", "csr_matrix.c", line))
+			}
+			rap, err := mk("RAP_diag_j", 24, 230)
+			if err != nil {
+				return nil, err
+			}
+			diagJ, err := mk("diag_j", 16, 214)
+			if err != nil {
+				return nil, err
+			}
+			diagData, err := mk("diag_data", 12, 216)
+			if err != nil {
+				return nil, err
+			}
+			aDiagJ, err := mk("A_diag_j", 8, 198)
+			if err != nil {
+				return nil, err
+			}
+			rhs, err := parallelAlloc(p, cfg, "rhs", 4*mb,
+				site("hypre_SeqVectorInitialize", "vector.c", 96))
+			if err != nil {
+				return nil, err
+			}
+			arrays := []alloc.Object{rap, diagJ, diagData, aDiagJ}
+
+			init := serialInitPhase("init", append(arrays, rhs), cfg.Threads, 8)
+
+			// Setup does blocked passes over the operator arrays with real
+			// work in between: moderate pressure.
+			setup := trace.Phase{Name: "setup"}
+			for t := 0; t < cfg.Threads; t++ {
+				var streams []trace.Stream
+				for _, o := range arrays {
+					sl := threadSlices(o, cfg.Threads)[t]
+					streams = append(streams, &trace.Seq{Base: sl.Base, Len: sl.Len, Elem: 8, WriteEvery: 6})
+				}
+				setup.Threads = append(setup.Threads, trace.ThreadSpec{
+					Stream:     &trace.Mix{Streams: streams, Weights: []int{1, 1, 1, 1}},
+					Ops:        8e5,
+					MLP:        4,
+					WorkCycles: 7,
+				})
+			}
+
+			// Solve: bandwidth-hungry sweeps weighted the way Figure 4(a)
+			// reports CF: RAP_diag_j > diag_j > diag_data > A_diag_j.
+			solve := trace.Phase{Name: "solve"}
+			for t := 0; t < cfg.Threads; t++ {
+				var streams []trace.Stream
+				for _, o := range append(arrays, rhs) {
+					sl := threadSlices(o, cfg.Threads)[t]
+					streams = append(streams, &trace.Seq{Base: sl.Base, Len: sl.Len, Elem: 8})
+				}
+				solve.Threads = append(solve.Threads, trace.ThreadSpec{
+					Stream:     &trace.Mix{Streams: streams, Weights: []int{8, 5, 4, 2, 1}},
+					Ops:        3.2e6,
+					MLP:        8,
+					WorkCycles: 1.5,
+				})
+			}
+			p.Phases = []trace.Phase{init, setup, solve}
+			return p, nil
+		},
+	}
+}
+
+// IRSmk: LLNL's implicit radiation solver kernel — a 27-point stencil over
+// a 3-D block-structured mesh touching 29 equally sized arrays (b, k and 27
+// coefficient arrays), all initialized serially. With medium and large
+// meshes the arrays stream from node 0 and contend; the small mesh is cache
+// resident. Class: rmc (15/24 cases), fixed by co-locating all 29 arrays
+// (Figure 6, up to 6.2x in the paper).
+func IRSmk() program.Builder {
+	return program.Builder{
+		Name:   "IRSmk",
+		Inputs: []string{"small", "medium", "large"},
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var size uint64
+			switch cfg.Input {
+			case "small": // reduced mesh: 29 arrays x 32 KB, cache resident
+				size = 32 * kb
+			case "medium": // 64^3 mesh: 29 x 2 MB
+				size = 2 * mb
+			case "large": // 96^3 mesh: 29 x 7 MB
+				size = 7 * mb
+			default:
+				return nil, errUnknownInput(cfg.Input)
+			}
+			names := []string{"b", "k"}
+			for i := 0; i < 27; i++ {
+				names = append(names, fmt.Sprintf("coef_%c%c%c",
+					"dcu"[i%3], "bcf"[(i/3)%3], "lcr"[(i/9)%3]))
+			}
+			var objs []alloc.Object
+			for i, n := range names {
+				o, err := masterAlloc(p, n, size, site("AllocateMesh", "irsmk.c", 58+i))
+				if err != nil {
+					return nil, err
+				}
+				objs = append(objs, o)
+			}
+			ph := trace.Phase{Name: "rmatmult3"}
+			for t := 0; t < cfg.Threads; t++ {
+				var streams []trace.Stream
+				var weights []int
+				for _, o := range objs {
+					sl := threadSlices(o, cfg.Threads)[t]
+					streams = append(streams, &trace.Seq{Base: sl.Base, Len: sl.Len, Elem: 8})
+					weights = append(weights, 1)
+				}
+				ph.Threads = append(ph.Threads, trace.ThreadSpec{
+					Stream:     &trace.Mix{Streams: streams, Weights: weights},
+					Ops:        2.4e6,
+					MLP:        8,
+					WorkCycles: 1.5,
+				})
+			}
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// LULESH: the Livermore shock-hydro proxy. Over 40 domain arrays are
+// allocated back-to-back (lulesh.cc lines 2158-2238 in the paper's version)
+// and initialized by the master thread; two large static objects add
+// traffic the profiler cannot attribute. T16-N4 leaves each socket's links
+// under-saturated — the paper's classifier calls that configuration good —
+// while denser configurations contend. Class: rmc.
+func LULESH() program.Builder {
+	return program.Builder{
+		Name:   "LULESH",
+		Inputs: []string{"large"},
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.Input != "large" {
+				return nil, errUnknownInput(cfg.Input)
+			}
+			var objs []alloc.Object
+			names := []string{
+				"m_x", "m_y", "m_z", "m_xd", "m_yd", "m_zd",
+				"m_fx", "m_fy", "m_fz", "m_e", "m_p", "m_q",
+				"m_v", "m_volo", "m_delv", "m_arealg",
+			}
+			for i, n := range names {
+				o, err := masterAlloc(p, n, 6*mb, site("Domain::Domain", "lulesh.cc", 2158+2*i))
+				if err != nil {
+					return nil, err
+				}
+				objs = append(objs, o)
+			}
+			// Static data: node lists and symmetry tables, ~20% of traffic.
+			staticBase := uint64(0x7f0000000000)
+			if _, err := staticAlloc(p, staticBase, 24*mb); err != nil {
+				return nil, err
+			}
+			ph := trace.Phase{Name: "lagrange_leapfrog"}
+			staticParts := program.PartitionSeq(24*mb, cfg.Threads)
+			for t := 0; t < cfg.Threads; t++ {
+				var streams []trace.Stream
+				var weights []int
+				for _, o := range objs {
+					sl := threadSlices(o, cfg.Threads)[t]
+					streams = append(streams, &trace.Seq{Base: sl.Base, Len: sl.Len, Elem: 8, WriteEvery: 5})
+					weights = append(weights, 1)
+				}
+				streams = append(streams, &trace.Seq{
+					Base: staticBase + staticParts[t].Off, Len: staticParts[t].Len, Elem: 8,
+				})
+				weights = append(weights, 4) // static share ~20% of 20 units
+				ph.Threads = append(ph.Threads, trace.ThreadSpec{
+					Stream:     &trace.Mix{Streams: streams, Weights: weights},
+					Ops:        2.2e6,
+					MLP:        6,
+					WorkCycles: 4.5,
+				})
+			}
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}
+
+// NW: Rodinia's Needleman-Wunsch sequence alignment. The score matrix
+// (input_itemsets) and the reference matrix are both allocated and filled
+// by the master thread, then swept in anti-diagonal wavefronts by all
+// threads. Small inputs stay cache resident; the rest contend. Class: rmc
+// (16/24 cases), fixed by co-locating both arrays (+32.6% in the paper).
+func NW() program.Builder {
+	return program.Builder{
+		Name:   "NW",
+		Inputs: []string{"small", "medium", "large"},
+		Build: func(m *topology.Machine, cfg program.Config) (*program.Program, error) {
+			p, err := build(m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			var n uint64
+			switch cfg.Input {
+			case "small":
+				n = 128 // 2 x 64 KB: per-thread strips are cache resident
+			case "medium":
+				n = 4096 // 2 x 64 MB
+			case "large":
+				n = 8192 // 2 x 256 MB
+			default:
+				return nil, errUnknownInput(cfg.Input)
+			}
+			itemsets, err := masterAlloc(p, "input_itemsets", n*n*4,
+				site("main", "needle.cpp", 148))
+			if err != nil {
+				return nil, err
+			}
+			reference, err := masterAlloc(p, "reference", n*n*4,
+				site("main", "needle.cpp", 151))
+			if err != nil {
+				return nil, err
+			}
+			ph := trace.Phase{Name: "needle"}
+			rows := n / uint64(cfg.Threads)
+			if rows == 0 {
+				rows = 1
+			}
+			for t := 0; t < cfg.Threads; t++ {
+				first := uint64(t) * rows
+				s := &trace.Mix{
+					Streams: []trace.Stream{
+						&trace.Wavefront{Base: itemsets.Base, N: n, Elem: 4, RowFirst: first, RowCount: rows},
+						&trace.Seq{Base: reference.Base + first*n*4, Len: rows * n * 4, Elem: 4},
+					},
+					Weights: []int{4, 1},
+				}
+				ph.Threads = append(ph.Threads, trace.ThreadSpec{
+					Stream: s, Ops: 1.8e6, MLP: 6, WorkCycles: 1,
+				})
+			}
+			p.Phases = []trace.Phase{ph}
+			return p, nil
+		},
+	}
+}

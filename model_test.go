@@ -1,0 +1,91 @@
+package drbw_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drbw"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tl := sharedTool(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := tl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := drbw.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded tool renders the same tree and detects the same cases.
+	if loaded.Tree() != tl.Tree() {
+		t.Errorf("tree changed across save/load:\n%s\nvs\n%s", tl.Tree(), loaded.Tree())
+	}
+	c := drbw.Case{Input: "native", Threads: 32, Nodes: 4, Seed: 33}
+	orig, err := tl.Analyze("Streamcluster", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := loaded.Analyze("Streamcluster", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Detected != again.Detected {
+		t.Error("detection changed across save/load")
+	}
+	if len(orig.Objects) > 0 && len(again.Objects) > 0 &&
+		orig.Objects[0].Name != again.Objects[0].Name {
+		t.Error("diagnosis changed across save/load")
+	}
+
+	// Persisted summary survives; raw training data does not.
+	if loaded.TrainingRuns() != 0 {
+		t.Error("loaded tool claims training runs")
+	}
+	if loaded.TrainingSummary()["bandit"]["good"] == 0 {
+		t.Error("training summary lost")
+	}
+	if _, err := loaded.CrossValidate(); err == nil {
+		t.Error("cross validation without training data accepted")
+	}
+	if loaded.SelectedCandidates() != nil {
+		t.Error("selection experiment without training data returned data")
+	}
+	// Optimization still works.
+	cmp, err := loaded.Optimize("Streamcluster", c, drbw.Replicate, "block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Speedup() < 1.2 {
+		t.Errorf("loaded tool optimize speedup %.2f", cmp.Speedup())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := drbw.Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drbw.Load(bad); err == nil {
+		t.Error("garbage model accepted")
+	}
+	wrongVersion := filepath.Join(t.TempDir(), "v99.json")
+	if err := os.WriteFile(wrongVersion, []byte(`{"version":99,"tree":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drbw.Load(wrongVersion); err == nil {
+		t.Error("future version accepted")
+	}
+	badMachine := filepath.Join(t.TempDir(), "machine.json")
+	if err := os.WriteFile(badMachine, []byte(`{"version":1,"machine":"vax","tree":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drbw.Load(badMachine); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

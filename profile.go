@@ -1,0 +1,264 @@
+package drbw
+
+import (
+	"fmt"
+	"os"
+
+	"drbw/internal/alloc"
+	"drbw/internal/cache"
+	"drbw/internal/core"
+	"drbw/internal/diagnose"
+	"drbw/internal/features"
+	"drbw/internal/pebs"
+	"drbw/internal/profiledata"
+	"drbw/internal/topology"
+)
+
+// SampleRecord is one recorded address sample — the public face of a PEBS
+// sample, with node resolution already applied (the collector resolves
+// source and home while the process is alive).
+type SampleRecord struct {
+	Time     float64 // cycles since run start
+	CPU      int
+	Thread   int
+	Addr     uint64
+	Level    string // "L1", "L2", "L3", "LFB" or "MEM"
+	Latency  float64
+	Write    bool
+	SrcNode  int
+	HomeNode int
+}
+
+// ObjectRecord is one entry of the recorded allocation range table.
+type ObjectRecord struct {
+	ID   int
+	Name string
+	Func string
+	File string
+	Line int
+	Base uint64
+	Size uint64
+}
+
+// TraceData is a complete recorded profile: samples plus the allocation
+// table, ready to save, reload and analyze offline.
+type TraceData struct {
+	Bench   string
+	Config  string
+	Samples []SampleRecord
+	Objects []ObjectRecord
+	// Weight scales kept samples to true counts when the collector bounded
+	// its memory. 1 when everything was kept.
+	Weight float64
+}
+
+func toRecord(s pebs.Sample) SampleRecord {
+	return SampleRecord{
+		Time: s.Time, CPU: int(s.CPU), Thread: s.Thread, Addr: s.Addr,
+		Level: s.Level.String(), Latency: s.Latency, Write: s.Write,
+		SrcNode: int(s.SrcNode), HomeNode: int(s.HomeNode),
+	}
+}
+
+func fromRecord(r SampleRecord) (pebs.Sample, error) {
+	var lvl cache.Level
+	switch r.Level {
+	case "L1":
+		lvl = cache.L1
+	case "L2":
+		lvl = cache.L2
+	case "L3":
+		lvl = cache.L3
+	case "LFB":
+		lvl = cache.LFB
+	case "MEM":
+		lvl = cache.MEM
+	default:
+		return pebs.Sample{}, fmt.Errorf("drbw: unknown memory level %q", r.Level)
+	}
+	return pebs.Sample{
+		Time: r.Time, CPU: topology.CPUID(r.CPU), Thread: r.Thread, Addr: r.Addr,
+		Level: lvl, Latency: r.Latency, Write: r.Write,
+		SrcNode: topology.NodeID(r.SrcNode), HomeNode: topology.NodeID(r.HomeNode),
+	}, nil
+}
+
+// Record profiles one case of a built-in benchmark and returns the raw
+// recording instead of an analysis — the collection half of the offline
+// workflow.
+func (t *Tool) Record(bench string, c Case) (*TraceData, error) {
+	b, err := t.builder(bench)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.New(t.machine, c.config())
+	if err != nil {
+		return nil, err
+	}
+	col := pebs.NewCollector(core.DefaultCollectorConfig(), c.Seed+101)
+	run := t.cfg.engineConfig()
+	run.Collector = col
+	run.Seed = c.Seed + 103
+	if _, err := p.Run(run); err != nil {
+		return nil, err
+	}
+	td := &TraceData{
+		Bench:  bench,
+		Config: c.config().String(),
+		Weight: col.Weight(),
+	}
+	for _, s := range col.Samples() {
+		td.Samples = append(td.Samples, toRecord(s))
+	}
+	for _, o := range p.Heap.Live() {
+		td.Objects = append(td.Objects, ObjectRecord{
+			ID: int(o.ID), Name: o.Name,
+			Func: o.Site.Func, File: o.Site.File, Line: o.Site.Line,
+			Base: o.Base, Size: o.Size,
+		})
+	}
+	return td, nil
+}
+
+// Save writes the recording as two CSV files (see internal/profiledata for
+// the exact format).
+func (td *TraceData) Save(samplesPath, objectsPath string) error {
+	sf, err := os.Create(samplesPath)
+	if err != nil {
+		return fmt.Errorf("drbw: %w", err)
+	}
+	defer sf.Close()
+	var samples []pebs.Sample
+	for _, r := range td.Samples {
+		s, err := fromRecord(r)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, s)
+	}
+	if err := profiledata.WriteSamples(sf, samples); err != nil {
+		return err
+	}
+	of, err := os.Create(objectsPath)
+	if err != nil {
+		return fmt.Errorf("drbw: %w", err)
+	}
+	defer of.Close()
+	return profiledata.WriteObjects(of, td.internalObjects())
+}
+
+func (td *TraceData) internalObjects() []alloc.Object {
+	var out []alloc.Object
+	for _, o := range td.Objects {
+		out = append(out, alloc.Object{
+			ID: alloc.ObjectID(o.ID), Name: o.Name,
+			Site: alloc.Site{Func: o.Func, File: o.File, Line: o.Line},
+			Base: o.Base, Size: o.Size,
+		})
+	}
+	return out
+}
+
+// LoadTrace reads a recording saved by TraceData.Save (or produced by any
+// other tool emitting the same CSV schema).
+func LoadTrace(samplesPath, objectsPath string) (*TraceData, error) {
+	sf, err := os.Open(samplesPath)
+	if err != nil {
+		return nil, fmt.Errorf("drbw: %w", err)
+	}
+	defer sf.Close()
+	samples, err := profiledata.ReadSamples(sf)
+	if err != nil {
+		return nil, err
+	}
+	of, err := os.Open(objectsPath)
+	if err != nil {
+		return nil, fmt.Errorf("drbw: %w", err)
+	}
+	defer of.Close()
+	objects, err := profiledata.ReadObjects(of)
+	if err != nil {
+		return nil, err
+	}
+	td := &TraceData{Weight: 1}
+	for _, s := range samples {
+		td.Samples = append(td.Samples, toRecord(s))
+	}
+	for _, o := range objects {
+		td.Objects = append(td.Objects, ObjectRecord{
+			ID: int(o.ID), Name: o.Name,
+			Func: o.Site.Func, File: o.Site.File, Line: o.Site.Line,
+			Base: o.Base, Size: o.Size,
+		})
+	}
+	return td, nil
+}
+
+// AnalyzeTrace runs the classification and diagnosis pipeline on a
+// recording: per-channel feature extraction, the trained tree, and CF
+// attribution through the recorded allocation table. The recording must
+// come from (or describe) the machine the tool was trained for.
+func (t *Tool) AnalyzeTrace(td *TraceData) (*Report, error) {
+	if len(td.Samples) == 0 {
+		return nil, fmt.Errorf("drbw: recording has no samples")
+	}
+	weight := td.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	var samples []pebs.Sample
+	for _, r := range td.Samples {
+		s, err := fromRecord(r)
+		if err != nil {
+			return nil, err
+		}
+		if s.SrcNode < 0 || int(s.SrcNode) >= t.machine.Nodes() ||
+			s.HomeNode < 0 || int(s.HomeNode) >= t.machine.Nodes() {
+			return nil, fmt.Errorf("drbw: sample references node outside the %d-node machine", t.machine.Nodes())
+		}
+		samples = append(samples, s)
+	}
+
+	rep := &Report{Bench: td.Bench, Config: td.Config}
+	var contended []topology.Channel
+	for ch, vec := range features.ChannelVectors(t.machine, samples, weight, t.detector.MinSamples) {
+		v := vec
+		if t.tree.Predict(v[:]) == int(features.RMC) {
+			rep.Detected = true
+			contended = append(contended, ch)
+		}
+	}
+	sortChannelsStable(contended)
+	for _, ch := range contended {
+		rep.Channels = append(rep.Channels, ch.String())
+	}
+	rep.attachTimeline(diagnose.Timeline(samples, timelineBuckets, weight))
+	if !rep.Detected {
+		return rep, nil
+	}
+	table, err := profiledata.NewTable(td.internalObjects())
+	if err != nil {
+		return nil, err
+	}
+	diag := diagnose.Analyze(table, samples, contended, weight)
+	for _, o := range diag.Overall {
+		rep.Objects = append(rep.Objects, ObjectCF{
+			Name: o.Object.Name, Site: o.Object.Site.String(),
+			CF: o.CF, Samples: o.Samples,
+		})
+	}
+	rep.UnattributedCF = diag.UnattributedCF
+	return rep, nil
+}
+
+func sortChannelsStable(chs []topology.Channel) {
+	for i := 1; i < len(chs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := chs[j-1], chs[j]
+			if a.Src < b.Src || (a.Src == b.Src && a.Dst <= b.Dst) {
+				break
+			}
+			chs[j-1], chs[j] = b, a
+		}
+	}
+}

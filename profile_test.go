@@ -1,0 +1,97 @@
+package drbw_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"drbw"
+)
+
+func TestRecordAndAnalyzeTrace(t *testing.T) {
+	tl := sharedTool(t)
+	c := drbw.Case{Input: "native", Threads: 32, Nodes: 4, Seed: 51}
+	td, err := tl.Record("Streamcluster", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Samples) == 0 || len(td.Objects) == 0 {
+		t.Fatalf("recording empty: %d samples %d objects", len(td.Samples), len(td.Objects))
+	}
+	if td.Bench != "Streamcluster" || td.Config == "" {
+		t.Errorf("recording metadata: %q %q", td.Bench, td.Config)
+	}
+
+	// Offline analysis agrees with the live pipeline.
+	rep, err := tl.AnalyzeTrace(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Contended() {
+		t.Fatal("offline analysis missed the contention")
+	}
+	if top := rep.TopObjects(1); len(top) == 0 || top[0] != "block" {
+		t.Errorf("offline diagnosis top = %v", top)
+	}
+}
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	tl := sharedTool(t)
+	c := drbw.Case{Input: "native", Threads: 16, Nodes: 2, Seed: 52}
+	td, err := tl.Record("Streamcluster", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sPath := filepath.Join(dir, "samples.csv")
+	oPath := filepath.Join(dir, "objects.csv")
+	if err := td.Save(sPath, oPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := drbw.LoadTrace(sPath, oPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Samples) != len(td.Samples) {
+		t.Fatalf("samples %d -> %d", len(td.Samples), len(loaded.Samples))
+	}
+	if len(loaded.Objects) != len(td.Objects) {
+		t.Fatalf("objects %d -> %d", len(td.Objects), len(loaded.Objects))
+	}
+
+	orig, err := tl.AnalyzeTrace(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := tl.AnalyzeTrace(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Detected != again.Detected {
+		t.Error("detection changed across trace save/load")
+	}
+	if len(orig.Objects) != len(again.Objects) {
+		t.Errorf("diagnosis size changed: %d -> %d", len(orig.Objects), len(again.Objects))
+	}
+}
+
+func TestAnalyzeTraceValidation(t *testing.T) {
+	tl := sharedTool(t)
+	if _, err := tl.AnalyzeTrace(&drbw.TraceData{}); err == nil {
+		t.Error("empty recording accepted")
+	}
+	bad := &drbw.TraceData{Samples: []drbw.SampleRecord{{Level: "L9", SrcNode: 0, HomeNode: 0}}}
+	if _, err := tl.AnalyzeTrace(bad); err == nil {
+		t.Error("unknown level accepted")
+	}
+	outOfRange := &drbw.TraceData{Samples: []drbw.SampleRecord{{Level: "MEM", SrcNode: 9, HomeNode: 0}}}
+	if _, err := tl.AnalyzeTrace(outOfRange); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestLoadTraceMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := drbw.LoadTrace(filepath.Join(dir, "a.csv"), filepath.Join(dir, "b.csv")); err == nil {
+		t.Error("missing sample file accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package drbw_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drbw"
+)
+
+func TestLoadWorkloadSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wl.json")
+	body := `{
+		"name": "svc",
+		"arrays": [
+			{"name": "table", "mb": 64, "placement": "master", "pattern": "shared-random", "weight": 3},
+			{"name": "out", "mb": 16, "placement": "parallel", "pattern": "scan", "write_every": 2}
+		],
+		"mlp": 6,
+		"work_cycles": 2,
+		"ops_per_thread": 1500000
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := drbw.LoadWorkloadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "svc" || len(w.Arrays) != 2 {
+		t.Fatalf("spec parsed wrong: %+v", w)
+	}
+	if w.Arrays[0].Placement != drbw.Master || w.Arrays[0].Pattern != drbw.SharedRandom ||
+		w.Arrays[0].Weight != 3 {
+		t.Errorf("array 0: %+v", w.Arrays[0])
+	}
+	if w.Arrays[1].WriteEvery != 2 {
+		t.Errorf("array 1: %+v", w.Arrays[1])
+	}
+	if w.MLP != 6 || w.WorkCycles != 2 || w.OpsPerThread != 1.5e6 {
+		t.Errorf("scalars: %+v", w)
+	}
+
+	// The loaded spec runs through the pipeline.
+	tl := sharedTool(t)
+	rep, err := tl.AnalyzeWorkload(w, drbw.Case{Threads: 32, Nodes: 4, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Contended() {
+		t.Error("master-placed table workload not detected")
+	}
+}
+
+func TestLoadWorkloadSpecErrors(t *testing.T) {
+	if _, err := drbw.LoadWorkloadSpec(filepath.Join(t.TempDir(), "none.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := drbw.LoadWorkloadSpec(bad); err == nil {
+		t.Error("truncated json accepted")
+	}
+}
