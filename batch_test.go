@@ -1,0 +1,104 @@
+package drbw_test
+
+import (
+	"errors"
+	"testing"
+
+	"drbw"
+)
+
+// TestAnalyzeAllMatchesSerial checks the determinism guarantee: batch
+// analysis over the worker pool renders byte-identical reports to serial
+// Analyze calls, because each case's randomness derives only from its own
+// seed.
+func TestAnalyzeAllMatchesSerial(t *testing.T) {
+	tl := sharedTool(t)
+	cases := drbw.StandardCases("native")[:4]
+	for i := range cases {
+		cases[i].Seed = uint64(300 + i*17)
+	}
+
+	serial := make([]string, len(cases))
+	for i, c := range cases {
+		rep, err := tl.Analyze("Streamcluster", c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = rep.String()
+	}
+
+	reports, err := tl.AnalyzeAll("Streamcluster", cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(cases) {
+		t.Fatalf("%d reports for %d cases", len(reports), len(cases))
+	}
+	for i, rep := range reports {
+		if rep == nil {
+			t.Fatalf("case %d: nil report without error", i)
+		}
+		if rep.String() != serial[i] {
+			t.Errorf("case %d: batch report differs from serial:\n--- batch ---\n%s--- serial ---\n%s",
+				i, rep.String(), serial[i])
+		}
+	}
+}
+
+// TestBatchPartialFailure checks a failing case does not take the batch
+// down: the other cases' reports come back, and the error names exactly
+// the failed case.
+func TestBatchPartialFailure(t *testing.T) {
+	tl := sharedTool(t)
+	cases := []drbw.Case{
+		{Input: "native", Threads: 16, Nodes: 4, Seed: 400},
+		{Input: "native", Threads: 7, Nodes: 2, Seed: 401}, // 7 threads do not divide over 2 nodes
+		{Input: "native", Threads: 32, Nodes: 4, Seed: 402},
+	}
+	reports, err := tl.AnalyzeAll("Streamcluster", cases)
+	if err == nil {
+		t.Fatal("invalid case accepted")
+	}
+	var be *drbw.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *drbw.BatchError", err)
+	}
+	if len(be.Cases) != 1 || be.Cases[0].Index != 1 {
+		t.Fatalf("failed cases: %+v, want exactly index 1", be.Cases)
+	}
+	if reports[0] == nil || reports[2] == nil {
+		t.Error("successful cases lost their reports")
+	}
+	if reports[1] != nil {
+		t.Error("failed case produced a report")
+	}
+}
+
+// TestEvaluateAllCarriesGroundTruth checks the batch evaluate path runs
+// the interleave probe per case.
+func TestEvaluateAllCarriesGroundTruth(t *testing.T) {
+	tl := sharedTool(t)
+	cases := []drbw.Case{
+		{Input: "native", Threads: 32, Nodes: 4, Seed: 410},
+		{Input: "native", Threads: 16, Nodes: 2, Seed: 411},
+	}
+	reports, err := tl.EvaluateAll("Streamcluster", cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reports {
+		if !rep.Evaluated {
+			t.Errorf("case %d: ground truth missing", i)
+		}
+	}
+	if !reports[0].Actual {
+		t.Error("dense streamcluster case should be actually contended")
+	}
+}
+
+func TestAnalyzeAllUnknownBenchmark(t *testing.T) {
+	tl := sharedTool(t)
+	if _, err := tl.AnalyzeAll("nope", []drbw.Case{{Threads: 16, Nodes: 2}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

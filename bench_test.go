@@ -12,6 +12,7 @@ package drbw_test
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"drbw/internal/alloc"
 	"drbw/internal/cache"
@@ -25,6 +26,7 @@ import (
 	"drbw/internal/program"
 	"drbw/internal/topology"
 	"drbw/internal/trace"
+	"drbw/internal/workloads"
 )
 
 var (
@@ -120,6 +122,60 @@ func BenchmarkTableIV_V_VI_Evaluation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*correctness, "correctness-%")
+}
+
+// BenchmarkBatchEvaluation pits the detector's parallel batch API against
+// a serial loop over the paper's eight standard configurations. The
+// speedup-x metric is the wall-clock ratio of one serial sweep to one
+// batch sweep; on a multi-core host it should track GOMAXPROCS up to the
+// case count.
+func BenchmarkBatchEvaluation(b *testing.B) {
+	c := benchContext(b)
+	e, ok := workloads.ByName("Streamcluster")
+	if !ok {
+		b.Fatal("missing Streamcluster")
+	}
+	var jobs []core.BatchJob
+	for i, cfg := range program.StandardConfigs() {
+		cc := cfg
+		cc.Input = "native"
+		cc.Seed = uint64(120000 + i*7)
+		jobs = append(jobs, core.BatchJob{Builder: e.Builder, Cfg: cc})
+	}
+	serialSweep := func() {
+		for _, j := range jobs {
+			if _, err := c.Detector.Evaluate(j.Builder, c.Machine, j.Cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	parallelSweep := func() {
+		for _, r := range c.Detector.EvaluateAll(c.Machine, jobs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			serialSweep()
+		}
+		b.ReportMetric(float64(len(jobs)), "cases/op")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parallelSweep()
+		}
+		b.StopTimer()
+		start := time.Now()
+		serialSweep()
+		serialD := time.Since(start)
+		start = time.Now()
+		parallelSweep()
+		parallelD := time.Since(start)
+		b.ReportMetric(float64(len(jobs)), "cases/op")
+		b.ReportMetric(serialD.Seconds()/parallelD.Seconds(), "speedup-x")
+	})
 }
 
 func BenchmarkTableVII_ProfilingOverhead(b *testing.B) {

@@ -1,12 +1,16 @@
-// drbw-analyze runs DR-BW's classification and diagnosis offline, on a
-// recorded profile: a sample CSV plus an allocation-table CSV (produced by
-// drbw-profile -record, TraceData.Save, or any tool emitting the same
-// schema — see internal/profiledata).
+// drbw-analyze runs DR-BW's classification and diagnosis offline, on one
+// or more recorded profiles: a sample CSV plus an allocation-table CSV
+// (produced by drbw-profile -record, TraceData.Save, or any tool emitting
+// the same schema — see internal/profiledata).
 //
 // Usage:
 //
 //	drbw-analyze -samples run.samples.csv -objects run.objects.csv
 //	             [-model model.json] [-quick]
+//
+// Both flags accept comma-separated lists (paired positionally); multiple
+// recordings are analyzed in parallel via Tool.AnalyzeTraces, and a
+// recording that fails to analyze does not abort the others.
 //
 // Without -model a classifier is trained first; with it, the saved model
 // from drbw-train -o is used and no simulation runs at all.
@@ -17,21 +21,28 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"drbw"
 )
 
 func main() {
-	samples := flag.String("samples", "", "sample CSV (required)")
-	objects := flag.String("objects", "", "allocation-table CSV (required)")
+	samples := flag.String("samples", "", "sample CSV, or a comma-separated list (required)")
+	objects := flag.String("objects", "", "allocation-table CSV, or a comma-separated list (required)")
 	model := flag.String("model", "", "saved classifier from drbw-train -o")
 	quick := flag.Bool("quick", false, "quick training when no -model is given")
 	flag.Parse()
 
-	if *samples == "" || *objects == "" {
+	sampleFiles := splitList(*samples)
+	objectFiles := splitList(*objects)
+	if len(sampleFiles) == 0 || len(objectFiles) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if len(sampleFiles) != len(objectFiles) {
+		log.Fatalf("drbw-analyze: %d sample files but %d object files; the lists pair positionally",
+			len(sampleFiles), len(objectFiles))
 	}
 
 	var tool *drbw.Tool
@@ -50,15 +61,45 @@ func main() {
 		log.Fatal(err)
 	}
 
-	td, err := drbw.LoadTrace(*samples, *objects)
-	if err != nil {
-		log.Fatal(err)
+	tds := make([]*drbw.TraceData, len(sampleFiles))
+	for i := range sampleFiles {
+		td, err := drbw.LoadTrace(sampleFiles[i], objectFiles[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %d samples (weight %g), %d objects\n",
+			sampleFiles[i], len(td.Samples), td.Weight, len(td.Objects))
+		tds[i] = td
 	}
-	fmt.Fprintf(os.Stderr, "loaded %d samples, %d objects\n\n", len(td.Samples), len(td.Objects))
+	fmt.Fprintln(os.Stderr)
 
-	rep, err := tool.AnalyzeTrace(td)
-	if err != nil {
-		log.Fatal(err)
+	reports, err := tool.AnalyzeTraces(tds)
+	for i, rep := range reports {
+		if len(reports) > 1 {
+			fmt.Printf("== %s ==\n", sampleFiles[i])
+		}
+		if rep == nil {
+			fmt.Printf("analysis failed (see stderr)\n\n")
+			continue
+		}
+		fmt.Print(rep)
+		if len(reports) > 1 {
+			fmt.Println()
+		}
 	}
-	fmt.Print(rep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -9,7 +9,9 @@
 //
 // -quick reduces the training set, simulation window and sweeps (roughly
 // 10x faster, same qualitative shapes). The full run regenerates the
-// 512-case Table V sweep and takes several minutes.
+// 512-case Table V sweep and takes several minutes; the sweep fans out
+// over GOMAXPROCS workers through the detector's batch API, with seeds
+// fixed per case so the tables match a serial run exactly.
 package main
 
 import (
@@ -69,10 +71,15 @@ func main() {
 	var ev *experiments.Evaluation
 	needEval := sel("tableIV") || sel("tableV") || sel("tableVI")
 	if needEval {
-		fmt.Fprintf(os.Stderr, "sweeping benchmark cases (this is the long part)...\n")
+		fmt.Fprintf(os.Stderr, "sweeping benchmark cases in parallel (this is the long part)...\n")
 		ev, err = ctx.Evaluate()
 		if err != nil {
-			log.Fatal(err)
+			// Evaluate aggregates per-case errors and keeps every case that
+			// succeeded; render the tables from the partial sweep.
+			if ev == nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "warning: some cases failed, tables reflect the remainder:\n%v\n", err)
 		}
 	}
 	if sel("tableIV") {

@@ -87,7 +87,8 @@ type Config struct {
 	// Machine selects the simulated platform (default XeonE5_4650).
 	Machine Machine
 	// Window/Warmup set the per-thread cache-simulation window (defaults
-	// 24576/6144). Smaller is faster and less faithful.
+	// 24576/6144). Smaller is faster and less faithful. A negative Warmup
+	// requests a zero-warmup run (samples include the cold-cache ramp).
 	Window, Warmup int
 	// Quick trains on a quarter of the 192-run training set. Accuracy drops
 	// a little; collection runs ~4x faster.
@@ -111,7 +112,7 @@ func (c Config) engineConfig() engine.Config {
 	if c.Window > 0 {
 		ecfg.Window = c.Window
 	}
-	if c.Warmup > 0 {
+	if c.Warmup != 0 {
 		ecfg.Warmup = c.Warmup
 	}
 	if c.Sampling == "ibs" {
@@ -317,45 +318,50 @@ func (t *Tool) builder(bench string) (program.Builder, error) {
 // timelineBuckets is the resolution of Report.Timeline.
 const timelineBuckets = 32
 
+// reportFromDetection turns a single-pass detection into the public report:
+// diagnosis of the contended channels (from the retained samples, without
+// re-simulating) plus the remote-pressure timeline.
+func reportFromDetection(dn *core.Detection) *Report {
+	var rep *diagnose.Report
+	if dn.Detected {
+		rep = dn.Diagnose()
+	}
+	out := newReport(dn.CaseResult, rep)
+	out.attachTimeline(diagnose.Timeline(dn.Samples, timelineBuckets, dn.Weight))
+	return out
+}
+
 // Analyze profiles one case of a built-in benchmark and runs the full
 // DR-BW pipeline: per-channel classification, then — if contention is
 // detected — Contribution-Fraction diagnosis of the contended channels,
-// plus a remote-pressure timeline.
+// plus a remote-pressure timeline. The case is simulated exactly once;
+// diagnosis reuses the retained samples.
 func (t *Tool) Analyze(bench string, c Case) (*Report, error) {
 	b, err := t.builder(bench)
 	if err != nil {
 		return nil, err
 	}
-	cr, p, samples, weight, err := t.detector.DetectCase(b, t.machine, c.config())
+	dn, err := t.detector.Detect(b, t.machine, c.config())
 	if err != nil {
 		return nil, err
 	}
-	var rep *diagnose.Report
-	if cr.Detected {
-		rep = diagnose.Analyze(p.Heap, samples, cr.Contended, weight)
-	}
-	out := newReport(cr, rep)
-	out.attachTimeline(diagnose.Timeline(samples, timelineBuckets, weight))
-	return out, nil
+	return reportFromDetection(dn), nil
 }
 
 // Evaluate runs Analyze plus the paper's ground-truth probe (whole-program
-// interleaving; ≥10% speedup means the case is actually contended).
+// interleaving; ≥10% speedup means the case is actually contended). The
+// profiled run happens once; only the probe's interleaved variant is
+// simulated on top.
 func (t *Tool) Evaluate(bench string, c Case) (*Report, error) {
 	b, err := t.builder(bench)
 	if err != nil {
 		return nil, err
 	}
-	cr, err := t.detector.EvaluateCase(b, t.machine, c.config())
+	dn, err := t.detector.Evaluate(b, t.machine, c.config())
 	if err != nil {
 		return nil, err
 	}
-	// Re-run diagnosis for the report (EvaluateCase does not keep samples).
-	_, rep, err := t.detector.Diagnose(b, t.machine, c.config())
-	if err != nil {
-		return nil, err
-	}
-	return newReport(cr, rep), nil
+	return reportFromDetection(dn), nil
 }
 
 // Strategy is a placement fix.

@@ -1,0 +1,10 @@
+package drbw
+
+// SetCollectorMaxKept shrinks the detector's per-run sample cap so tests
+// can force the collector's reservoir to overflow (Weight > 1) without a
+// full-length run. It returns a restore function for the previous cap.
+func SetCollectorMaxKept(t *Tool, n int) (restore func()) {
+	prev := t.detector.Ccfg.MaxKept
+	t.detector.Ccfg.MaxKept = n
+	return func() { t.detector.Ccfg.MaxKept = prev }
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"drbw/internal/diagnose"
@@ -127,16 +128,14 @@ func peakRemoteUtil(m *topology.Machine, res *engine.Result) float64 {
 	return maxU
 }
 
-// CollectTraining profiles every instance of the training set and extracts
-// its labeled feature vector. Instances are independent simulations and
-// fan out over GOMAXPROCS workers; seeds come from the instances, so the
-// result is identical to a serial collection.
-func CollectTraining(m *topology.Machine, ecfg engine.Config, set []micro.Instance) (*TrainingData, error) {
-	runs := make([]TrainingRun, len(set))
-	errs := make([]error, len(set))
+// ParallelFor runs fn(i) for every i in [0, n) on a bounded pool of
+// GOMAXPROCS workers — the channel fan-out every batch pipeline in this
+// package shares. fn must write only to its own index's state; ParallelFor
+// returns once every call has finished.
+func ParallelFor(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(set) {
-		workers = len(set)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
@@ -148,15 +147,27 @@ func CollectTraining(m *topology.Machine, ecfg engine.Config, set []micro.Instan
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				runs[i], errs[i] = collectOne(m, ecfg, set[i])
+				fn(i)
 			}
 		}()
 	}
-	for i := range set {
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+}
+
+// CollectTraining profiles every instance of the training set and extracts
+// its labeled feature vector. Instances are independent simulations and
+// fan out over GOMAXPROCS workers; seeds come from the instances, so the
+// result is identical to a serial collection.
+func CollectTraining(m *topology.Machine, ecfg engine.Config, set []micro.Instance) (*TrainingData, error) {
+	runs := make([]TrainingRun, len(set))
+	errs := make([]error, len(set))
+	ParallelFor(len(set), func(i int) {
+		runs[i], errs[i] = collectOne(m, ecfg, set[i])
+	})
 
 	td := &TrainingData{Dataset: &dtree.Dataset{
 		FeatureNames: featureNames(),
@@ -253,11 +264,14 @@ type Detector struct {
 	MinSamples int
 	// Ecfg is the engine configuration for detection runs.
 	Ecfg engine.Config
+	// Ccfg configures the per-run PEBS collector; its Flavor is overridden
+	// by Ecfg.SamplerFlavor at run time.
+	Ccfg pebs.Config
 }
 
 // NewDetector builds a detector with the default thresholds.
 func NewDetector(tree *dtree.Tree, ecfg engine.Config) *Detector {
-	return &Detector{Tree: tree, MinSamples: 25, Ecfg: ecfg}
+	return &Detector{Tree: tree, MinSamples: 25, Ecfg: ecfg, Ccfg: DefaultCollectorConfig()}
 }
 
 // CaseResult is the outcome of one benchmark case (input × Tt-Nn config).
@@ -274,80 +288,107 @@ type CaseResult struct {
 	InterleaveSpeedup float64
 }
 
-// DetectCase runs one case with profiling and classifies every remote
-// channel; the case is rmc if at least one channel is (the paper's rule 1).
-// It returns the result together with the run's samples, heap and collector
-// weight so callers can diagnose without re-running.
-func (d *Detector) DetectCase(b program.Builder, m *topology.Machine, cfg program.Config) (CaseResult, *program.Program, []pebs.Sample, float64, error) {
+// Detection is the single-pass outcome of profiling one case: the
+// classification verdict plus everything later pipeline stages need — the
+// simulated program (for its heap), the retained samples and the collector
+// weight — so diagnosis, evaluation and reporting never re-run the
+// simulation.
+type Detection struct {
+	CaseResult
+	// Program is the simulated program the samples came from; its heap
+	// drives object attribution.
+	Program *program.Program
+	// Samples are the collector's retained samples, scaled by Weight.
+	Samples []pebs.Sample
+	// Weight scales kept samples to true counts (1 unless the collector hit
+	// its memory bound).
+	Weight float64
+
+	builder program.Builder
+}
+
+// Detect runs one case with profiling and classifies every remote channel;
+// the case is rmc if at least one channel is (the paper's rule 1). This is
+// the only simulation of the case the pipeline performs: the returned
+// Detection carries the run's program, samples and weight for diagnosis.
+func (d *Detector) Detect(b program.Builder, m *topology.Machine, cfg program.Config) (*Detection, error) {
 	p, err := b.New(m, cfg)
 	if err != nil {
-		return CaseResult{}, nil, nil, 0, err
+		return nil, err
 	}
-	ccfg := DefaultCollectorConfig()
+	ccfg := d.Ccfg
 	ccfg.Flavor = d.Ecfg.SamplerFlavor
 	col := pebs.NewCollector(ccfg, cfg.Seed+101)
 	run := d.Ecfg
 	run.Collector = col
 	run.Seed = cfg.Seed + 103
 	if _, err := p.Run(run); err != nil {
-		return CaseResult{}, nil, nil, 0, err
+		return nil, err
 	}
-	samples := col.Samples()
-	cr := CaseResult{Bench: b.Name, Cfg: cfg}
-	for ch, vec := range features.ChannelVectors(m, samples, col.Weight(), d.MinSamples) {
+	dn := &Detection{
+		CaseResult: CaseResult{Bench: b.Name, Cfg: cfg},
+		Program:    p,
+		Samples:    col.Samples(),
+		Weight:     col.Weight(),
+		builder:    b,
+	}
+	for ch, vec := range features.ChannelVectors(m, dn.Samples, dn.Weight, d.MinSamples) {
 		v := vec
 		if d.Tree.Predict(v[:]) == int(features.RMC) {
-			cr.Detected = true
-			cr.Contended = append(cr.Contended, ch)
+			dn.Detected = true
+			dn.Contended = append(dn.Contended, ch)
 		}
 	}
-	sortChannels(cr.Contended)
-	return cr, p, samples, col.Weight(), nil
+	sortChannels(dn.Contended)
+	return dn, nil
 }
 
 func sortChannels(chs []topology.Channel) {
-	for i := 1; i < len(chs); i++ {
-		for j := i; j > 0; j-- {
-			a, b := chs[j-1], chs[j]
-			if a.Src < b.Src || (a.Src == b.Src && a.Dst <= b.Dst) {
-				break
-			}
-			chs[j-1], chs[j] = b, a
-		}
-	}
+	sort.Slice(chs, func(i, j int) bool {
+		return chs[i].Src < chs[j].Src ||
+			(chs[i].Src == chs[j].Src && chs[i].Dst < chs[j].Dst)
+	})
 }
 
-// EvaluateCase runs detection plus the paper's ground-truth probe
-// (whole-program interleave, ≥10% speedup ⇒ actually contended).
-func (d *Detector) EvaluateCase(b program.Builder, m *topology.Machine, cfg program.Config) (CaseResult, error) {
-	cr, _, _, _, err := d.DetectCase(b, m, cfg)
-	if err != nil {
-		return CaseResult{}, err
+// Diagnose attributes the contended channels' samples to data objects using
+// the detection's retained state — no re-simulation. It returns an empty
+// report when nothing was detected.
+func (dn *Detection) Diagnose() *diagnose.Report {
+	if !dn.Detected {
+		return &diagnose.Report{}
 	}
+	return diagnose.Analyze(dn.Program.Heap, dn.Samples, dn.Contended, dn.Weight)
+}
+
+// GroundTruth runs the paper's probe (whole-program interleave, ≥10%
+// speedup ⇒ actually contended) and records the verdict in the detection.
+// The probe simulates the interleaved variant; the profiled run itself is
+// not repeated.
+func (d *Detector) GroundTruth(dn *Detection) error {
+	m := dn.Program.Machine
 	ecfg := d.Ecfg
-	ecfg.Seed = cfg.Seed + 211
-	actual, comp, err := optimize.ActualRMC(b, m, cfg, ecfg)
+	ecfg.Seed = dn.Cfg.Seed + 211
+	actual, comp, err := optimize.ActualRMC(dn.builder, m, dn.Cfg, ecfg)
 	if err != nil {
-		return CaseResult{}, err
+		return err
 	}
-	cr.Actual = actual
-	cr.Evaluated = true
-	cr.InterleaveSpeedup = comp.Speedup()
-	return cr, nil
+	dn.Actual = actual
+	dn.Evaluated = true
+	dn.InterleaveSpeedup = comp.Speedup()
+	return nil
 }
 
-// Diagnose runs the full DR-BW pipeline on one case: detection, then —
-// when contention is found — root-cause attribution of the contended
-// channels' samples to data objects.
-func (d *Detector) Diagnose(b program.Builder, m *topology.Machine, cfg program.Config) (CaseResult, *diagnose.Report, error) {
-	cr, p, samples, weight, err := d.DetectCase(b, m, cfg)
+// Evaluate is Detect plus GroundTruth: one profiled simulation, then the
+// interleave probe.
+func (d *Detector) Evaluate(b program.Builder, m *topology.Machine, cfg program.Config) (*Detection, error) {
+	dn, err := d.Detect(b, m, cfg)
 	if err != nil {
-		return CaseResult{}, nil, err
+		return nil, err
 	}
-	if !cr.Detected {
-		return cr, &diagnose.Report{}, nil
+	if err := d.GroundTruth(dn); err != nil {
+		return nil, err
 	}
-	return cr, diagnose.Analyze(p.Heap, samples, cr.Contended, weight), nil
+	return dn, nil
 }
 
 // BenchmarkSummary aggregates one benchmark's cases (a Table V row).
@@ -379,18 +420,18 @@ func (d *Detector) EvaluateBenchmark(b program.Builder, m *topology.Machine, see
 			c.Input = input
 			c.Seed = seed
 			seed += 17
-			cr, err := d.EvaluateCase(b, m, c)
+			dn, err := d.Evaluate(b, m, c)
 			if err != nil {
 				return sum, fmt.Errorf("core: %s %s: %w", b.Name, c, err)
 			}
 			sum.Cases++
-			if cr.Actual {
+			if dn.Actual {
 				sum.Actual++
 			}
-			if cr.Detected {
+			if dn.Detected {
 				sum.Detected++
 			}
-			sum.Results = append(sum.Results, cr)
+			sum.Results = append(sum.Results, dn.CaseResult)
 		}
 	}
 	return sum, nil

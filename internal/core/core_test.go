@@ -126,19 +126,22 @@ func TestDetectContendedBenchmark(t *testing.T) {
 	_, d := trainReduced(t)
 	m := topology.XeonE5_4650()
 	sc, _ := workloads.ByName("Streamcluster")
-	cr, _, _, _, err := d.DetectCase(sc.Builder, m, program.Config{
+	dn, err := d.Detect(sc.Builder, m, program.Config{
 		Threads: 32, Nodes: 4, Input: "native", Seed: 77,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cr.Detected {
+	if !dn.Detected {
 		t.Error("streamcluster native T32-N4 not detected as rmc")
 	}
-	if len(cr.Contended) == 0 {
+	if len(dn.Contended) == 0 {
 		t.Error("no contended channels reported")
 	}
-	for _, ch := range cr.Contended {
+	if dn.Program == nil || len(dn.Samples) == 0 || dn.Weight <= 0 {
+		t.Error("detection did not retain the run's program/samples/weight")
+	}
+	for _, ch := range dn.Contended {
 		if ch.Local() {
 			t.Errorf("local channel %v flagged; detection is per remote channel", ch)
 		}
@@ -149,14 +152,17 @@ func TestDetectFriendlyBenchmark(t *testing.T) {
 	_, d := trainReduced(t)
 	m := topology.XeonE5_4650()
 	bs, _ := workloads.ByName("Blackscholes")
-	cr, _, _, _, err := d.DetectCase(bs.Builder, m, program.Config{
+	dn, err := d.Detect(bs.Builder, m, program.Config{
 		Threads: 64, Nodes: 4, Input: "native", Seed: 78,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cr.Detected {
-		t.Errorf("blackscholes detected rmc on channels %v", cr.Contended)
+	if dn.Detected {
+		t.Errorf("blackscholes detected rmc on channels %v", dn.Contended)
+	}
+	if rep := dn.Diagnose(); len(rep.Overall) != 0 {
+		t.Error("diagnosis of an undetected case should be empty")
 	}
 }
 
@@ -164,16 +170,16 @@ func TestEvaluateCaseGroundTruth(t *testing.T) {
 	_, d := trainReduced(t)
 	m := topology.XeonE5_4650()
 	sc, _ := workloads.ByName("Streamcluster")
-	cr, err := d.EvaluateCase(sc.Builder, m, program.Config{
+	dn, err := d.Evaluate(sc.Builder, m, program.Config{
 		Threads: 32, Nodes: 4, Input: "native", Seed: 79,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cr.Evaluated || !cr.Actual {
-		t.Errorf("ground truth should confirm contention (speedup %.2f)", cr.InterleaveSpeedup)
+	if !dn.Evaluated || !dn.Actual {
+		t.Errorf("ground truth should confirm contention (speedup %.2f)", dn.InterleaveSpeedup)
 	}
-	if cr.Actual && !cr.Detected {
+	if dn.Actual && !dn.Detected {
 		t.Error("false negative: actually contended but not detected")
 	}
 }
@@ -182,15 +188,16 @@ func TestDiagnoseFindsBlock(t *testing.T) {
 	_, d := trainReduced(t)
 	m := topology.XeonE5_4650()
 	sc, _ := workloads.ByName("Streamcluster")
-	cr, rep, err := d.Diagnose(sc.Builder, m, program.Config{
+	dn, err := d.Detect(sc.Builder, m, program.Config{
 		Threads: 32, Nodes: 4, Input: "native", Seed: 80,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cr.Detected {
+	if !dn.Detected {
 		t.Fatal("contention not detected; cannot diagnose")
 	}
+	rep := dn.Diagnose()
 	if len(rep.Overall) == 0 {
 		t.Fatal("empty diagnosis")
 	}

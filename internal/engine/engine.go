@@ -50,7 +50,8 @@ type Config struct {
 	// per phase (after warmup). <= 0 uses 24576.
 	Window int
 	// Warmup accesses are driven through the caches but not profiled.
-	// < 0 uses Window/4.
+	// 0 (unset) uses Window/4; a negative value requests a true zero-warmup
+	// run, profiling from the first access.
 	Warmup int
 	// ReservoirSize is the number of concrete access records kept per
 	// thread for sample generation. <= 0 uses 2048.
@@ -76,11 +77,10 @@ func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
 		c.Window = 24576
 	}
-	if c.Warmup < 0 {
-		c.Warmup = c.Window / 4
-	}
 	if c.Warmup == 0 {
 		c.Warmup = c.Window / 4
+	} else if c.Warmup < 0 {
+		c.Warmup = 0
 	}
 	if c.ReservoirSize <= 0 {
 		c.ReservoirSize = 2048

@@ -457,3 +457,18 @@ func TestResultAggregation(t *testing.T) {
 		t.Error("aggregate DRAM latency missing")
 	}
 }
+
+func TestConfigWarmupDefaults(t *testing.T) {
+	unset := Config{Window: 8192}.withDefaults()
+	if unset.Warmup != 8192/4 {
+		t.Errorf("unset Warmup = %d, want Window/4 = %d", unset.Warmup, 8192/4)
+	}
+	zero := Config{Window: 8192, Warmup: -1}.withDefaults()
+	if zero.Warmup != 0 {
+		t.Errorf("negative Warmup = %d, want 0 (true zero-warmup run)", zero.Warmup)
+	}
+	explicit := Config{Window: 8192, Warmup: 512}.withDefaults()
+	if explicit.Warmup != 512 {
+		t.Errorf("explicit Warmup = %d, want 512", explicit.Warmup)
+	}
+}

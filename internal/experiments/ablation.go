@@ -156,14 +156,13 @@ func (c *Context) AblationChannelGranularity() (string, error) {
 			return "", fmt.Errorf("experiments: missing %s", s.name)
 		}
 		cfg := program.Config{Threads: s.threads, Nodes: s.nodes, Input: s.input, Seed: uint64(81000 + i*41)}
-		cr, p, samples, weight, err := c.Detector.DetectCase(e.Builder, c.Machine, cfg)
+		dn, err := c.Detector.Detect(e.Builder, c.Machine, cfg)
 		if err != nil {
 			return "", err
 		}
-		_ = p
 		// Whole-run vector: all samples against the busiest channel.
-		ch := busiest(c, samples)
-		vec := features.Extract(samples, ch, weight)
+		ch := busiest(c, dn.Samples)
+		vec := features.Extract(dn.Samples, ch, dn.Weight)
 		whole := c.Tree.Predict(vec[:]) == 1
 
 		ecfg := c.Ecfg
@@ -172,14 +171,14 @@ func (c *Context) AblationChannelGranularity() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		if cr.Detected == actual {
+		if dn.Detected == actual {
 			agreeCh++
 		}
 		if whole == actual {
 			agreeWhole++
 		}
 		t.add(fmt.Sprintf("%s/%s %s", s.name, s.input, cfg.Label()),
-			fmt.Sprintf("%v", actual), fmt.Sprintf("%v", cr.Detected), fmt.Sprintf("%v", whole))
+			fmt.Sprintf("%v", actual), fmt.Sprintf("%v", dn.Detected), fmt.Sprintf("%v", whole))
 	}
 	out := "Ablation — per-channel vs whole-run classification\n\n" + t.String() +
 		fmt.Sprintf("\nagreement with ground truth: per-channel %d/%d, whole-run %d/%d\n",

@@ -48,11 +48,11 @@ func (c *Context) BaselineStudy() (string, error) {
 		cfg := program.Config{Threads: cs.threads, Nodes: 4, Input: cs.input, Seed: uint64(97000 + i*19)}
 
 		// One profiled run supplies the samples every strategy plans from.
-		_, prof, samples, weight, err := c.Detector.DetectCase(e.Builder, c.Machine, cfg)
+		dn, err := c.Detector.Detect(e.Builder, c.Machine, cfg)
 		if err != nil {
 			return "", err
 		}
-		_ = weight
+		prof, samples := dn.Program, dn.Samples
 
 		ecfg := c.Ecfg
 		ecfg.Seed = cfg.Seed + 7

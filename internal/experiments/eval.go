@@ -1,10 +1,9 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"drbw/internal/core"
 	"drbw/internal/features"
@@ -48,16 +47,14 @@ func (c *Context) sweepInputs(inputs []string) []string {
 }
 
 // Evaluate sweeps every Table V benchmark over its inputs × configurations,
-// with detection and the interleave ground truth per case. Cases are
-// independent simulations, so they fan out over GOMAXPROCS workers; seeds
-// are assigned up front, so the result is identical to a serial sweep.
+// with detection and the interleave ground truth per case, through the
+// detector's parallel batch API: cases fan out over GOMAXPROCS workers with
+// seeds assigned up front, so the result is identical to a serial sweep.
+// Failing cases do not abort the sweep — their errors are aggregated into
+// the returned error while the Evaluation keeps every successful case.
 func (c *Context) Evaluate() (*Evaluation, error) {
-	type job struct {
-		bench   int // index into summaries
-		builder program.Config
-		entry   workloads.Entry
-	}
-	var jobs []job
+	var jobs []core.BatchJob
+	var bench []int // jobs[i] belongs to ev.Summaries[bench[i]]
 	ev := &Evaluation{}
 	seed := uint64(50000)
 	for _, e := range workloads.All() {
@@ -72,59 +69,30 @@ func (c *Context) Evaluate() (*Evaluation, error) {
 				cc.Input = input
 				cc.Seed = seed
 				seed += 31
-				jobs = append(jobs, job{bench: bi, builder: cc, entry: e})
+				jobs = append(jobs, core.BatchJob{Builder: e.Builder, Cfg: cc})
+				bench = append(bench, bi)
 			}
 		}
 	}
 
-	type outcome struct {
-		idx int
-		cr  core.CaseResult
-		err error
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	results := make([]outcome, len(jobs))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				j := jobs[i]
-				cr, err := c.Detector.EvaluateCase(j.entry.Builder, c.Machine, j.builder)
-				if err != nil {
-					err = fmt.Errorf("experiments: %s %s: %w", j.entry.Name(), j.builder, err)
-				}
-				results[i] = outcome{idx: i, cr: cr, err: err}
-			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	for i, r := range results {
-		if r.err != nil {
-			return nil, r.err
+	var errs []error
+	for i, r := range c.Detector.EvaluateAll(c.Machine, jobs) {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("experiments: %w", r.Err))
+			continue
 		}
-		sum := &ev.Summaries[jobs[i].bench]
+		sum := &ev.Summaries[bench[i]]
 		sum.Cases++
-		if r.cr.Actual {
+		if r.Detection.Actual {
 			sum.Actual++
 		}
-		if r.cr.Detected {
+		if r.Detection.Detected {
 			sum.Detected++
 		}
-		sum.Results = append(sum.Results, r.cr)
+		sum.Results = append(sum.Results, r.Detection.CaseResult)
+	}
+	if len(errs) > 0 {
+		return ev, errors.Join(errs...)
 	}
 	return ev, nil
 }

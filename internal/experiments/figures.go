@@ -40,13 +40,14 @@ func (c *Context) Fig4() (string, error) {
 			return "", fmt.Errorf("experiments: missing %s", cs.name)
 		}
 		cfg := program.Config{Threads: cs.threads, Nodes: 4, Input: cs.input, Seed: uint64(60000 + i*7)}
-		cr, rep, err := c.Detector.Diagnose(e.Builder, c.Machine, cfg)
+		dn, err := c.Detector.Detect(e.Builder, c.Machine, cfg)
 		if err != nil {
 			return "", err
 		}
+		rep := dn.Diagnose()
 		fmt.Fprintf(&b, "\n(%c) %s %s %s — detected=%v  [paper top: %s]\n",
-			'a'+i, cs.name, cs.input, cfg.Label(), cr.Detected, cs.paperTop)
-		if rep == nil || len(rep.Overall) == 0 {
+			'a'+i, cs.name, cs.input, cfg.Label(), dn.Detected, cs.paperTop)
+		if len(rep.Overall) == 0 {
 			b.WriteString("  (no contended samples)\n")
 			continue
 		}
@@ -231,7 +232,7 @@ func (c *Context) BlackscholesStudy() (string, error) {
 		cc := cfg
 		cc.Input = "native"
 		cc.Seed = uint64(65000 + i*31)
-		cr, _, _, _, err := c.Detector.DetectCase(e.Builder, c.Machine, cc)
+		dn, err := c.Detector.Detect(e.Builder, c.Machine, cc)
 		if err != nil {
 			return "", err
 		}
@@ -245,7 +246,7 @@ func (c *Context) BlackscholesStudy() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		t.add(cc.Label(), fmt.Sprintf("%v", cr.Detected), spd(colo.Speedup()), spd(inter.Speedup()))
+		t.add(cc.Label(), fmt.Sprintf("%v", dn.Detected), spd(colo.Speedup()), spd(inter.Speedup()))
 	}
 	b.WriteString(t.String())
 	return b.String(), nil

@@ -149,11 +149,11 @@ func TestAllContendedBenchmarksDetected(t *testing.T) {
 			t.Fatalf("missing %s", cs.name)
 		}
 		cfg := program.Config{Threads: 64, Nodes: 4, Input: cs.input, Seed: uint64(99000 + i*7)}
-		cr, _, _, _, err := c.Detector.DetectCase(e.Builder, c.Machine, cfg)
+		dn, err := c.Detector.Detect(e.Builder, c.Machine, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !cr.Detected {
+		if !dn.Detected {
 			t.Errorf("%s %s T64-N4 not detected (false negative)", cs.name, cs.input)
 		}
 	}

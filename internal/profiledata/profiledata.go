@@ -7,8 +7,17 @@
 // Formats are line-oriented CSV with a header, chosen so recordings can be
 // produced and consumed by shell tooling:
 //
-//	samples:  time,cpu,thread,addr,level,latency,write,src_node,home_node
+//	samples:  #drbw-samples,v2,weight,<w>
+//	          time,cpu,thread,addr,level,latency,write,src_node,home_node
 //	objects:  id,name,func,file,line,base,size
+//
+// The samples file opens with a meta row naming the format version and the
+// collector weight — the factor that scales the kept samples back to true
+// counts when the collector bounded its memory (see pebs.Collector.Weight).
+// Without it, a reloaded trace silently under-counts every count feature.
+// v1 files, which lack the meta row and start directly with the header,
+// are still read (their weight is taken as 1, matching collections that
+// kept every sample).
 //
 // Addresses and bases are hexadecimal with an 0x prefix; levels are the
 // strings L1, L2, L3, LFB, MEM. Source and home node are recorded at
@@ -32,9 +41,23 @@ import (
 
 var sampleHeader = []string{"time", "cpu", "thread", "addr", "level", "latency", "write", "src_node", "home_node"}
 
-// WriteSamples writes samples as CSV.
-func WriteSamples(w io.Writer, samples []pebs.Sample) error {
+// metaTag opens the meta row of a versioned samples file.
+const metaTag = "#drbw-samples"
+
+// sampleVersion is the format version WriteSamples emits.
+const sampleVersion = "v2"
+
+// WriteSamples writes samples as CSV, preceded by the v2 meta row carrying
+// the collector weight. A non-positive weight is written as 1.
+func WriteSamples(w io.Writer, samples []pebs.Sample, weight float64) error {
+	if !(weight > 0) {
+		weight = 1
+	}
 	cw := csv.NewWriter(w)
+	meta := []string{metaTag, sampleVersion, "weight", strconv.FormatFloat(weight, 'g', -1, 64)}
+	if err := cw.Write(meta); err != nil {
+		return fmt.Errorf("profiledata: %w", err)
+	}
 	if err := cw.Write(sampleHeader); err != nil {
 		return fmt.Errorf("profiledata: %w", err)
 	}
@@ -82,64 +105,100 @@ func parseAddr(s string) (uint64, error) {
 	return strconv.ParseUint(s, 10, 64)
 }
 
-// ReadSamples parses a CSV sample recording.
-func ReadSamples(r io.Reader) ([]pebs.Sample, error) {
+// readMeta parses the v2 meta row into the collector weight.
+func readMeta(rec []string) (float64, error) {
+	if len(rec) != 4 || rec[2] != "weight" {
+		return 0, fmt.Errorf("profiledata: malformed meta row %v, want %s,<version>,weight,<w>", rec, metaTag)
+	}
+	if rec[1] != sampleVersion {
+		return 0, fmt.Errorf("profiledata: unsupported samples format version %q (this reader handles v1 and %s)", rec[1], sampleVersion)
+	}
+	w, err := strconv.ParseFloat(rec[3], 64)
+	if err != nil {
+		return 0, fmt.Errorf("profiledata: meta weight: %w", err)
+	}
+	if !(w > 0) {
+		return 0, fmt.Errorf("profiledata: meta weight %v is not positive", w)
+	}
+	return w, nil
+}
+
+// ReadSamples parses a CSV sample recording and returns the samples plus
+// the collector weight. v1 recordings (no meta row) read with weight 1.
+func ReadSamples(r io.Reader) ([]pebs.Sample, float64, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(sampleHeader)
+	cr.FieldsPerRecord = -1 // the meta row is shorter than the data rows
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("profiledata: reading header: %w", err)
+		return nil, 0, fmt.Errorf("profiledata: reading header: %w", err)
+	}
+	weight := 1.0
+	line := 2
+	if len(header) > 0 && header[0] == metaTag {
+		if weight, err = readMeta(header); err != nil {
+			return nil, 0, err
+		}
+		if header, err = cr.Read(); err != nil {
+			return nil, 0, fmt.Errorf("profiledata: reading header: %w", err)
+		}
+		line = 3
+	}
+	if len(header) != len(sampleHeader) {
+		return nil, 0, fmt.Errorf("profiledata: header has %d columns, want %d", len(header), len(sampleHeader))
 	}
 	for i, h := range sampleHeader {
 		if header[i] != h {
-			return nil, fmt.Errorf("profiledata: header column %d is %q, want %q", i, header[i], h)
+			return nil, 0, fmt.Errorf("profiledata: header column %d is %q, want %q", i, header[i], h)
 		}
 	}
 	var out []pebs.Sample
-	for line := 2; ; line++ {
+	for ; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("profiledata: line %d: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d: %w", line, err)
+		}
+		if len(rec) != len(sampleHeader) {
+			return nil, 0, fmt.Errorf("profiledata: line %d has %d fields, want %d", line, len(rec), len(sampleHeader))
 		}
 		var s pebs.Sample
 		if s.Time, err = strconv.ParseFloat(rec[0], 64); err != nil {
-			return nil, fmt.Errorf("profiledata: line %d time: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d time: %w", line, err)
 		}
 		cpu, err := strconv.Atoi(rec[1])
 		if err != nil {
-			return nil, fmt.Errorf("profiledata: line %d cpu: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d cpu: %w", line, err)
 		}
 		s.CPU = topology.CPUID(cpu)
 		if s.Thread, err = strconv.Atoi(rec[2]); err != nil {
-			return nil, fmt.Errorf("profiledata: line %d thread: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d thread: %w", line, err)
 		}
 		if s.Addr, err = parseAddr(rec[3]); err != nil {
-			return nil, fmt.Errorf("profiledata: line %d addr: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d addr: %w", line, err)
 		}
 		if s.Level, err = parseLevel(rec[4]); err != nil {
-			return nil, fmt.Errorf("profiledata: line %d: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d: %w", line, err)
 		}
 		if s.Latency, err = strconv.ParseFloat(rec[5], 64); err != nil {
-			return nil, fmt.Errorf("profiledata: line %d latency: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d latency: %w", line, err)
 		}
 		if s.Write, err = strconv.ParseBool(rec[6]); err != nil {
-			return nil, fmt.Errorf("profiledata: line %d write: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d write: %w", line, err)
 		}
 		src, err := strconv.Atoi(rec[7])
 		if err != nil {
-			return nil, fmt.Errorf("profiledata: line %d src_node: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d src_node: %w", line, err)
 		}
 		home, err := strconv.Atoi(rec[8])
 		if err != nil {
-			return nil, fmt.Errorf("profiledata: line %d home_node: %w", line, err)
+			return nil, 0, fmt.Errorf("profiledata: line %d home_node: %w", line, err)
 		}
 		s.SrcNode, s.HomeNode = topology.NodeID(src), topology.NodeID(home)
 		out = append(out, s)
 	}
-	return out, nil
+	return out, weight, nil
 }
 
 var objectHeader = []string{"id", "name", "func", "file", "line", "base", "size"}

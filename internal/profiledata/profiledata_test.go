@@ -22,12 +22,15 @@ func sampleFixture() []pebs.Sample {
 func TestSampleRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := sampleFixture()
-	if err := WriteSamples(&buf, in); err != nil {
+	if err := WriteSamples(&buf, in, 3.5); err != nil {
 		t.Fatal(err)
 	}
-	out, err := ReadSamples(&buf)
+	out, weight, err := ReadSamples(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if weight != 3.5 {
+		t.Errorf("weight round trip 3.5 -> %v", weight)
 	}
 	if len(out) != len(in) {
 		t.Fatalf("round trip %d -> %d samples", len(in), len(out))
@@ -46,18 +49,54 @@ func TestSampleRoundTrip(t *testing.T) {
 
 func TestSampleCSVShape(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteSamples(&buf, sampleFixture()); err != nil {
+	if err := WriteSamples(&buf, sampleFixture(), 1); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 4 {
+	if len(lines) != 5 {
 		t.Fatalf("%d lines", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "time,cpu,thread,addr,level") {
-		t.Errorf("header: %s", lines[0])
+	if lines[0] != "#drbw-samples,v2,weight,1" {
+		t.Errorf("meta row: %s", lines[0])
 	}
-	if !strings.Contains(lines[1], "0x10000000") || !strings.Contains(lines[1], "MEM") {
-		t.Errorf("row: %s", lines[1])
+	if !strings.HasPrefix(lines[1], "time,cpu,thread,addr,level") {
+		t.Errorf("header: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "0x10000000") || !strings.Contains(lines[2], "MEM") {
+		t.Errorf("row: %s", lines[2])
+	}
+}
+
+// Recordings from before the meta row (v1) start directly with the header
+// and must still read, with weight 1.
+func TestReadSamplesV1Compat(t *testing.T) {
+	body := "time,cpu,thread,addr,level,latency,write,src_node,home_node\n" +
+		"1000,3,1,0x10000000,MEM,612.5,false,1,0\n"
+	out, weight, err := ReadSamples(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weight != 1 {
+		t.Errorf("v1 weight = %v, want 1", weight)
+	}
+	if len(out) != 1 || out[0].Addr != 0x10000000 {
+		t.Errorf("v1 samples: %+v", out)
+	}
+}
+
+// A non-positive weight never reaches disk: it would corrupt every count
+// feature on reload, so WriteSamples clamps it to 1.
+func TestWriteSamplesClampsWeight(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSamples(&buf, sampleFixture(), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, weight, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weight != 1 {
+		t.Errorf("weight 0 wrote back as %v, want 1", weight)
 	}
 }
 
@@ -69,9 +108,14 @@ func TestReadSamplesErrors(t *testing.T) {
 		"bad addr":     "time,cpu,thread,addr,level,latency,write,src_node,home_node\n1,2,3,zz,L1,5,false,0,0\n",
 		"bad bool":     "time,cpu,thread,addr,level,latency,write,src_node,home_node\n1,2,3,0x10,L1,5,maybe,0,0\n",
 		"short row":    "time,cpu,thread,addr,level,latency,write,src_node,home_node\n1,2,3\n",
+		"short meta":   "#drbw-samples,v2\ntime,cpu,thread,addr,level,latency,write,src_node,home_node\n",
+		"bad version":  "#drbw-samples,v9,weight,1\ntime,cpu,thread,addr,level,latency,write,src_node,home_node\n",
+		"bad weight":   "#drbw-samples,v2,weight,zero\ntime,cpu,thread,addr,level,latency,write,src_node,home_node\n",
+		"zero weight":  "#drbw-samples,v2,weight,0\ntime,cpu,thread,addr,level,latency,write,src_node,home_node\n",
+		"meta only":    "#drbw-samples,v2,weight,2\n",
 	}
 	for name, body := range cases {
-		if _, err := ReadSamples(strings.NewReader(body)); err == nil {
+		if _, _, err := ReadSamples(strings.NewReader(body)); err == nil {
 			t.Errorf("%s accepted", name)
 		}
 	}
@@ -175,11 +219,11 @@ func TestSampleRoundTripProperty(t *testing.T) {
 			})
 		}
 		var buf bytes.Buffer
-		if err := WriteSamples(&buf, in); err != nil {
+		if err := WriteSamples(&buf, in, 2); err != nil {
 			return false
 		}
-		out, err := ReadSamples(&buf)
-		if err != nil {
+		out, weight, err := ReadSamples(&buf)
+		if err != nil || weight != 2 {
 			return false
 		}
 		if len(out) != len(in) {

@@ -2,11 +2,12 @@ package drbw
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"sort"
 
 	"drbw/internal/alloc"
 	"drbw/internal/cache"
-	"drbw/internal/core"
 	"drbw/internal/diagnose"
 	"drbw/internal/features"
 	"drbw/internal/pebs"
@@ -95,7 +96,11 @@ func (t *Tool) Record(bench string, c Case) (*TraceData, error) {
 	if err != nil {
 		return nil, err
 	}
-	col := pebs.NewCollector(core.DefaultCollectorConfig(), c.Seed+101)
+	// Same collector configuration and seeds as Detector.Detect, so a
+	// recording reproduces exactly the samples the live pipeline would see.
+	ccfg := t.detector.Ccfg
+	ccfg.Flavor = t.detector.Ecfg.SamplerFlavor
+	col := pebs.NewCollector(ccfg, c.Seed+101)
 	run := t.cfg.engineConfig()
 	run.Collector = col
 	run.Seed = c.Seed + 103
@@ -121,14 +126,11 @@ func (t *Tool) Record(bench string, c Case) (*TraceData, error) {
 }
 
 // Save writes the recording as two CSV files (see internal/profiledata for
-// the exact format).
+// the exact format). Every record is validated before any file is created,
+// and a file that fails mid-write is removed, so a bad recording never
+// leaves a truncated CSV behind.
 func (td *TraceData) Save(samplesPath, objectsPath string) error {
-	sf, err := os.Create(samplesPath)
-	if err != nil {
-		return fmt.Errorf("drbw: %w", err)
-	}
-	defer sf.Close()
-	var samples []pebs.Sample
+	samples := make([]pebs.Sample, 0, len(td.Samples))
 	for _, r := range td.Samples {
 		s, err := fromRecord(r)
 		if err != nil {
@@ -136,15 +138,37 @@ func (td *TraceData) Save(samplesPath, objectsPath string) error {
 		}
 		samples = append(samples, s)
 	}
-	if err := profiledata.WriteSamples(sf, samples); err != nil {
+	weight := td.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	if err := writeFile(samplesPath, func(w io.Writer) error {
+		return profiledata.WriteSamples(w, samples, weight)
+	}); err != nil {
 		return err
 	}
-	of, err := os.Create(objectsPath)
+	return writeFile(objectsPath, func(w io.Writer) error {
+		return profiledata.WriteObjects(w, td.internalObjects())
+	})
+}
+
+// writeFile creates path, runs write, and removes the file again if
+// anything fails, so readers never see a partial CSV.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("drbw: %w", err)
 	}
-	defer of.Close()
-	return profiledata.WriteObjects(of, td.internalObjects())
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("drbw: %w", err)
+	}
+	return nil
 }
 
 func (td *TraceData) internalObjects() []alloc.Object {
@@ -160,14 +184,16 @@ func (td *TraceData) internalObjects() []alloc.Object {
 }
 
 // LoadTrace reads a recording saved by TraceData.Save (or produced by any
-// other tool emitting the same CSV schema).
+// other tool emitting the same CSV schema). The collector weight persisted
+// in the samples file is restored; weightless files from older versions of
+// the format (or foreign tools) load with weight 1.
 func LoadTrace(samplesPath, objectsPath string) (*TraceData, error) {
 	sf, err := os.Open(samplesPath)
 	if err != nil {
 		return nil, fmt.Errorf("drbw: %w", err)
 	}
 	defer sf.Close()
-	samples, err := profiledata.ReadSamples(sf)
+	samples, weight, err := profiledata.ReadSamples(sf)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +206,7 @@ func LoadTrace(samplesPath, objectsPath string) (*TraceData, error) {
 	if err != nil {
 		return nil, err
 	}
-	td := &TraceData{Weight: 1}
+	td := &TraceData{Weight: weight}
 	for _, s := range samples {
 		td.Samples = append(td.Samples, toRecord(s))
 	}
@@ -252,13 +278,8 @@ func (t *Tool) AnalyzeTrace(td *TraceData) (*Report, error) {
 }
 
 func sortChannelsStable(chs []topology.Channel) {
-	for i := 1; i < len(chs); i++ {
-		for j := i; j > 0; j-- {
-			a, b := chs[j-1], chs[j]
-			if a.Src < b.Src || (a.Src == b.Src && a.Dst <= b.Dst) {
-				break
-			}
-			chs[j-1], chs[j] = b, a
-		}
-	}
+	sort.Slice(chs, func(i, j int) bool {
+		return chs[i].Src < chs[j].Src ||
+			(chs[i].Src == chs[j].Src && chs[i].Dst < chs[j].Dst)
+	})
 }

@@ -1,6 +1,7 @@
 package drbw_test
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -57,6 +58,9 @@ func TestTraceSaveLoadRoundTrip(t *testing.T) {
 	if len(loaded.Objects) != len(td.Objects) {
 		t.Fatalf("objects %d -> %d", len(td.Objects), len(loaded.Objects))
 	}
+	if loaded.Weight != td.Weight {
+		t.Errorf("weight %v -> %v across save/load", td.Weight, loaded.Weight)
+	}
 
 	orig, err := tl.AnalyzeTrace(td)
 	if err != nil {
@@ -71,6 +75,85 @@ func TestTraceSaveLoadRoundTrip(t *testing.T) {
 	}
 	if len(orig.Objects) != len(again.Objects) {
 		t.Errorf("diagnosis size changed: %d -> %d", len(orig.Objects), len(again.Objects))
+	}
+}
+
+// TestTraceWeightRoundTrip forces the collector's reservoir to overflow so
+// the recording carries Weight > 1, then checks the offline pipeline
+// reproduces the live verdict: the weight survives Save/LoadTrace, and the
+// reloaded trace classifies exactly like Analyze on the same case. Before
+// the weight was persisted, reloaded traces silently under-counted every
+// count feature by the reservoir factor.
+func TestTraceWeightRoundTrip(t *testing.T) {
+	tl := sharedTool(t)
+	restore := drbw.SetCollectorMaxKept(tl, 200)
+	defer restore()
+
+	c := drbw.Case{Input: "native", Threads: 32, Nodes: 4, Seed: 53}
+	td, err := tl.Record("Streamcluster", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Weight <= 1 {
+		t.Fatalf("weight = %v; the 200-sample cap should overflow", td.Weight)
+	}
+	if len(td.Samples) > 200 {
+		t.Fatalf("kept %d samples with a 200-sample cap", len(td.Samples))
+	}
+
+	dir := t.TempDir()
+	sPath := filepath.Join(dir, "samples.csv")
+	oPath := filepath.Join(dir, "objects.csv")
+	if err := td.Save(sPath, oPath); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := drbw.LoadTrace(sPath, oPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Weight != td.Weight {
+		t.Fatalf("weight %v -> %v across save/load", td.Weight, loaded.Weight)
+	}
+
+	live, err := tl.Analyze("Streamcluster", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := tl.AnalyzeTrace(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Detected != live.Detected {
+		t.Errorf("offline detected=%v, live detected=%v", offline.Detected, live.Detected)
+	}
+	if len(offline.Channels) != len(live.Channels) {
+		t.Fatalf("offline channels %v, live channels %v", offline.Channels, live.Channels)
+	}
+	for i := range live.Channels {
+		if offline.Channels[i] != live.Channels[i] {
+			t.Errorf("channel %d: offline %q, live %q", i, offline.Channels[i], live.Channels[i])
+		}
+	}
+}
+
+// TestSaveValidatesBeforeWrite checks a bad record never leaves a truncated
+// CSV behind: validation runs before any file is created.
+func TestSaveValidatesBeforeWrite(t *testing.T) {
+	td := &drbw.TraceData{
+		Samples: []drbw.SampleRecord{{Level: "L9"}},
+		Objects: []drbw.ObjectRecord{{Name: "a", Base: 0x1000, Size: 64}},
+	}
+	dir := t.TempDir()
+	sPath := filepath.Join(dir, "samples.csv")
+	oPath := filepath.Join(dir, "objects.csv")
+	if err := td.Save(sPath, oPath); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := os.Stat(sPath); !os.IsNotExist(err) {
+		t.Errorf("truncated samples file left behind: %v", err)
+	}
+	if _, err := os.Stat(oPath); !os.IsNotExist(err) {
+		t.Errorf("objects file written despite the bad recording: %v", err)
 	}
 }
 

@@ -7,7 +7,6 @@ import (
 
 	"drbw/internal/alloc"
 	"drbw/internal/core"
-	"drbw/internal/diagnose"
 	"drbw/internal/engine"
 	"drbw/internal/memsim"
 	"drbw/internal/optimize"
@@ -201,17 +200,18 @@ func (w WorkloadSpec) builder() (program.Builder, error) {
 	}, nil
 }
 
-// AnalyzeWorkload runs the DR-BW pipeline on a custom workload.
+// AnalyzeWorkload runs the DR-BW pipeline on a custom workload. Like
+// Analyze, the workload is simulated exactly once.
 func (t *Tool) AnalyzeWorkload(w WorkloadSpec, c Case) (*Report, error) {
 	b, err := w.builder()
 	if err != nil {
 		return nil, err
 	}
-	cr, rep, err := t.detector.Diagnose(b, t.machine, c.config())
+	dn, err := t.detector.Detect(b, t.machine, c.config())
 	if err != nil {
 		return nil, err
 	}
-	return newReport(cr, rep), nil
+	return reportFromDetection(dn), nil
 }
 
 // EvaluateWorkload adds the interleave ground-truth probe to
@@ -221,18 +221,11 @@ func (t *Tool) EvaluateWorkload(w WorkloadSpec, c Case) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cr, err := t.detector.EvaluateCase(b, t.machine, c.config())
+	dn, err := t.detector.Evaluate(b, t.machine, c.config())
 	if err != nil {
 		return nil, err
 	}
-	var rep *diagnose.Report
-	if cr.Detected {
-		_, rep, err = t.detector.Diagnose(b, t.machine, c.config())
-		if err != nil {
-			return nil, err
-		}
-	}
-	return newReport(cr, rep), nil
+	return reportFromDetection(dn), nil
 }
 
 // OptimizeWorkload measures a placement fix on a custom workload.
