@@ -157,12 +157,14 @@ func BenchmarkBatchEvaluation(b *testing.B) {
 		}
 	}
 	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			serialSweep()
 		}
 		b.ReportMetric(float64(len(jobs)), "cases/op")
 	})
 	b.Run("parallel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			parallelSweep()
 		}
@@ -352,6 +354,7 @@ func BenchmarkCacheHierarchyAccess(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Access(topology.CPUID(i&31), uint64(i)*64)
@@ -382,6 +385,7 @@ func BenchmarkEngineContendedRun(b *testing.B) {
 	bld := micro.Sumv(micro.BigCentralized, 0)
 	cfg := program.Config{Threads: 32, Nodes: 4, Input: "default", Seed: 3}
 	ecfg := engine.Config{Window: 8192, Warmup: 2048, ReservoirSize: 512, Seed: 3}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := bld.New(m, cfg)
@@ -410,9 +414,25 @@ func BenchmarkInterleaveGroundTruthProbe(b *testing.B) {
 func BenchmarkStreamGeneration(b *testing.B) {
 	s := &trace.Seq{Base: 0x10000000, Len: 1 << 24, Elem: 8}
 	s.Reset(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok := s.Next(); !ok {
+			s.Reset(uint64(i))
+		}
+	}
+}
+
+// BenchmarkStreamFill measures the batched refill path the engine window
+// actually uses (per-access cost of Fill over a 256-entry buffer).
+func BenchmarkStreamFill(b *testing.B) {
+	s := &trace.Seq{Base: 0x10000000, Len: 1 << 24, Elem: 8}
+	s.Reset(1)
+	buf := make([]trace.Access, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 256 {
+		if n := trace.Fill(s, buf); n < len(buf) {
 			s.Reset(uint64(i))
 		}
 	}

@@ -6,12 +6,19 @@
 //	drbw-bench [-quick] [-exp all|tableI|tableII|tableIII|fig3|tableIV|
 //	            tableV|tableVI|tableVII|fig4|fig5|fig6|fig7|fig8|sp|
 //	            blackscholes|llc|baselines|ablations]
+//	           [-cpuprofile f] [-memprofile f] [-trace f]
 //
 // -quick reduces the training set, simulation window and sweeps (roughly
 // 10x faster, same qualitative shapes). The full run regenerates the
 // 512-case Table V sweep and takes several minutes; the sweep fans out
 // over GOMAXPROCS workers through the detector's batch API, with seeds
 // fixed per case so the tables match a serial run exactly.
+//
+// The profiling flags capture the run for `go tool pprof` / `go tool trace`:
+// -cpuprofile and -trace cover everything between flag parsing and exit,
+// -memprofile writes an allocation profile at exit. They exist so hot-path
+// regressions in the simulator can be diagnosed on the real workload rather
+// than microbenchmarks.
 package main
 
 import (
@@ -19,6 +26,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -26,29 +36,96 @@ import (
 )
 
 func main() {
+	os.Exit(mainImpl())
+}
+
+// mainImpl exists so the profiling defers flush before the process exits;
+// os.Exit directly in main would skip them.
+func mainImpl() int {
 	quick := flag.Bool("quick", false, "reduced sweeps and training set")
 	exp := flag.String("exp", "all", "experiment to run (comma separated)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Printf("cpuprofile: %v", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Printf("cpuprofile: %v", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Printf("trace: %v", err)
+			return 1
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			log.Printf("trace: %v", err)
+			return 1
+		}
+		defer rtrace.Stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
+
+	// The work runs through run() so the profiling defers above flush even
+	// on failure (log.Fatal would bypass them).
+	if err := run(*quick, *exp, *seed); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+func run(quick bool, exp string, seed uint64) error {
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "training classifier (quick=%v)...\n", *quick)
-	ctx, err := experiments.NewContext(*quick, *seed)
+	fmt.Fprintf(os.Stderr, "training classifier (quick=%v)...\n", quick)
+	ctx, err := experiments.NewContext(quick, seed)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "trained in %.1fs\n\n", time.Since(start).Seconds())
 
 	want := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
+	for _, e := range strings.Split(exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
 	}
 	all := want["all"]
 	sel := func(name string) bool { return all || want[strings.ToLower(name)] }
 
+	// section prints each successful table; the first error latches and
+	// suppresses the rest, and run returns it at the end.
+	var secErr error
 	section := func(body string, err error) {
+		if secErr != nil {
+			return
+		}
 		if err != nil {
-			log.Fatal(err)
+			secErr = err
+			return
 		}
 		fmt.Println(body)
 		fmt.Println(strings.Repeat("-", 78))
@@ -77,7 +154,7 @@ func main() {
 			// Evaluate aggregates per-case errors and keeps every case that
 			// succeeded; render the tables from the partial sweep.
 			if ev == nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Fprintf(os.Stderr, "warning: some cases failed, tables reflect the remainder:\n%v\n", err)
 		}
@@ -134,4 +211,5 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "total %.1fs\n", time.Since(start).Seconds())
+	return secErr
 }

@@ -17,6 +17,8 @@ package cache
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"drbw/internal/topology"
 )
@@ -94,14 +96,46 @@ func DefaultConfig() Config {
 }
 
 // setAssoc is a single set-associative cache with LRU replacement.
+//
+// Instead of zeroing its arrays, reset snapshots the LRU clock into floor:
+// an entry is live only while use > floor, so stale entries both fail the
+// hit check and (having the lowest use values in their set) are evicted
+// first — exactly the behaviour of genuinely empty ways. That makes reset
+// O(1), which matters because the engine flushes the whole hierarchy at
+// every window boundary.
 type setAssoc struct {
 	sets     int
 	ways     int
 	lineBits uint
-	tags     []uint64 // sets*ways entries; 0 means empty
-	use      []uint64 // LRU clock per entry
-	clock    uint64
+	// w packs one cache entry per uint64: the low wayTagBits hold the line
+	// number biased by +1 (0 = never filled), the high bits hold the LRU
+	// clock of the last touch, live only while > floor. 8 bytes per entry
+	// halves both the construction-time zeroing and the memory traffic of
+	// every way scan relative to separate tag/use words — the simulated L3
+	// arrays are far larger than the host's caches, so scans are
+	// memory-bound.
+	w     []uint64 // sets*ways entries
+	clock uint64
+	floor uint64 // clock value at the last reset
+	// Same-line fast path: the most recently accessed line is always
+	// resident (a hit refreshes it, a miss fills it), so a repeat access is
+	// a guaranteed hit at lastIdx. Sequential streams touch each 64-byte
+	// line several times in a row, so this skips most way scans.
+	lastTag uint64 // line+1 of the previous access; 0 after reset
+	lastIdx int
 }
+
+const (
+	// wayTagBits bounds the supported address space: line numbers must fit
+	// in the tag field, so addresses beyond 2^(wayTagBits+lineBits) are
+	// rejected loudly. 41 bits cover the 0x7f00_0000_0000 static bases the
+	// workload models use with room to spare.
+	wayTagBits = 41
+	wayTagMask = 1<<wayTagBits - 1
+	// wayUseMax is where the packed LRU clock would overflow; bump
+	// renormalizes the stamps (order-preserving) before that happens.
+	wayUseMax = 1<<(64-wayTagBits) - 1
+)
 
 func newSetAssoc(size, assoc, lineSize int) (*setAssoc, error) {
 	if size <= 0 || assoc <= 0 {
@@ -121,37 +155,124 @@ func newSetAssoc(size, assoc, lineSize int) (*setAssoc, error) {
 	}
 	return &setAssoc{
 		sets: sets, ways: assoc, lineBits: lineBits,
-		tags: make([]uint64, sets*assoc),
-		use:  make([]uint64, sets*assoc),
+		w: make([]uint64, sets*assoc),
 	}, nil
 }
 
 // access looks up the line holding addr, inserting it on miss. It returns
 // whether the access hit.
 func (c *setAssoc) access(addr uint64) bool {
-	line := addr >> c.lineBits
-	set := int(line) & (c.sets - 1)
-	base := set * c.ways
-	c.clock++
 	// Tag 0 denotes an empty way, so bias stored tags by +1.
-	tag := line + 1
-	victim, victimUse := base, c.use[base]
-	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == tag {
-			c.use[i] = c.clock
-			return true
+	tag := (addr >> c.lineBits) + 1
+	if tag > wayTagMask {
+		panic(fmt.Sprintf("cache: address %#x beyond the supported range", addr))
+	}
+	if tag == c.lastTag {
+		c.w[c.lastIdx] = tag | c.bump()<<wayTagBits
+		return true
+	}
+	return c.accessSlow(tag)
+}
+
+// bump advances the LRU clock, renormalizing the packed stamps just before
+// the use field would overflow.
+func (c *setAssoc) bump() uint64 {
+	if c.clock+1 >= wayUseMax {
+		c.renorm()
+	}
+	c.clock++
+	return c.clock
+}
+
+// renorm compacts every live LRU stamp while preserving its set's recency
+// order, resetting the clock to small values. Victim choice compares stamps
+// only within one set and hits only check use > floor, so behaviour is
+// bit-identical to an unbounded clock. Runs once per ~8M accesses to this
+// cache; the scratch allocation is irrelevant at that rate.
+func (c *setAssoc) renorm() {
+	ord := make([]int, c.ways)
+	for base := 0; base < len(c.w); base += c.ways {
+		w := c.w[base : base+c.ways]
+		for i := range ord {
+			ord[i] = i
 		}
-		if c.use[i] < victimUse {
-			victim, victimUse = i, c.use[i]
+		sort.Slice(ord, func(a, b int) bool {
+			return w[ord[a]]>>wayTagBits < w[ord[b]]>>wayTagBits
+		})
+		rank := uint64(0)
+		for _, i := range ord {
+			if w[i]>>wayTagBits <= c.floor {
+				w[i] &= wayTagMask // stale or empty: lowest possible stamp
+				continue
+			}
+			rank++
+			w[i] = w[i]&wayTagMask | rank<<wayTagBits
 		}
 	}
-	c.tags[victim] = tag
-	c.use[victim] = c.clock
+	c.floor = 0
+	c.clock = uint64(c.ways) // ≥ every rank just assigned
+}
+
+// accessSlow is the full way scan for a line other than the last one
+// touched. It takes the biased tag so AccessOn computes the line number
+// once for all three levels.
+func (c *setAssoc) accessSlow(tag uint64) bool {
+	base := (int(tag-1) & (c.sets - 1)) * c.ways
+	clock := c.bump() << wayTagBits
+	floor := c.floor
+	w := c.w[base : base+c.ways]
+	// The victim scan compares packed words directly: the LRU stamp sits in
+	// the high bits, so the minimum packed value has the minimum stamp. Ties
+	// only occur between stale entries, where the choice is immaterial.
+	victim, victimE := 0, w[0]
+	for i, e := range w {
+		if e&wayTagMask == tag && e>>wayTagBits > floor {
+			w[i] = tag | clock
+			c.lastTag, c.lastIdx = tag, base+i
+			return true
+		}
+		if e < victimE {
+			victim, victimE = i, e
+		}
+	}
+	w[victim] = tag | clock
+	c.lastTag, c.lastIdx = tag, base+victim
+	return false
+}
+
+// accessMiss is accessSlow without the same-line bookkeeping. L2 and L3 are
+// only reached on an L1 miss, and a single core can never touch them with
+// the same line twice in a row (the second access would hit L1), so their
+// lastTag would never match and maintaining it is pure overhead.
+func (c *setAssoc) accessMiss(tag uint64) bool {
+	base := (int(tag-1) & (c.sets - 1)) * c.ways
+	clock := c.bump() << wayTagBits
+	floor := c.floor
+	w := c.w[base : base+c.ways]
+	victim, victimE := 0, w[0]
+	for i, e := range w {
+		if e&wayTagMask == tag && e>>wayTagBits > floor {
+			w[i] = tag | clock
+			return true
+		}
+		if e < victimE {
+			victim, victimE = i, e
+		}
+	}
+	w[victim] = tag | clock
 	return false
 }
 
 // insert fills a line without reporting hit/miss (used for inclusive fills).
 func (c *setAssoc) insert(addr uint64) { c.access(addr) }
+
+// reset empties the cache in O(1): every entry written before this point
+// drops below floor, making it both unhittable and the preferred victim, so
+// subsequent behaviour is bit-identical to a freshly allocated cache.
+func (c *setAssoc) reset() {
+	c.floor = c.clock
+	c.lastTag = 0
+}
 
 // lfb tracks the last N missed lines of one core: a miss to a line that is
 // already in flight is served by the line fill buffer.
@@ -170,6 +291,14 @@ func (b *lfb) hit(line uint64) bool {
 		}
 	}
 	return false
+}
+
+// reset clears the in-flight lines and rewinds the insertion cursor.
+func (b *lfb) reset() {
+	for i := range b.lines {
+		b.lines[i] = 0
+	}
+	b.next = 0
 }
 
 func (b *lfb) record(line uint64) {
@@ -196,6 +325,14 @@ type prefetcher struct {
 
 func newPrefetcher(streams, depth int) *prefetcher {
 	return &prefetcher{streams: make([]stream, streams), depth: depth}
+}
+
+// reset clears all detected streams and rewinds the recency clock.
+func (p *prefetcher) reset() {
+	for i := range p.streams {
+		p.streams[i] = stream{}
+	}
+	p.clock = 0
 }
 
 // observe advances the stream table with a demand access to line and reports
@@ -236,11 +373,33 @@ type Hierarchy struct {
 	machine  *topology.Machine
 	cfg      Config
 	lineBits uint
-	l1, l2   []*setAssoc   // per core
-	l3       []*setAssoc   // per node
-	lfbs     []*lfb        // per core
-	pf       []*prefetcher // per core
+	// The per-core and per-node components are stored by value: the access
+	// hot path then reaches any of them with one indexed load instead of
+	// chasing a pointer per level.
+	l1, l2 []setAssoc   // per core
+	l3     []setAssoc   // per node
+	lfbs   []lfb        // per core
+	pf     []prefetcher // per core
+	// Flat per-CPU topology tables so the access hot path never re-resolves
+	// core/node through the machine.
+	coreOf []topology.CoreID
+	nodeOf []topology.NodeID
 }
+
+// hierKey identifies one hierarchy build: the machine pointer (geometry and
+// CPU tables) plus the effective configuration. Both are comparable, so the
+// key can index the recycle pool directly.
+type hierKey struct {
+	m   *topology.Machine
+	cfg Config
+}
+
+// hierPool recycles hierarchies returned through Release, keyed by hierKey.
+// The epoch-floor reset makes a flushed hierarchy behave bit-identically to
+// a freshly built one, so NewHierarchy can hand back a recycled instance and
+// skip both the allocation and the zeroing of its way arrays. Batch sweeps
+// build one hierarchy per run, which made that construction cost a hot path.
+var hierPool sync.Map // hierKey -> *sync.Pool of *Hierarchy
 
 // NewHierarchy builds the hierarchy for machine m.
 func NewHierarchy(m *topology.Machine, cfg Config) (*Hierarchy, error) {
@@ -264,8 +423,14 @@ func NewHierarchy(m *topology.Machine, cfg Config) (*Hierarchy, error) {
 		cfg.PrefetchStreams = def.PrefetchStreams
 	}
 
+	if p, ok := hierPool.Load(hierKey{m, cfg}); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			return v.(*Hierarchy), nil
+		}
+	}
+
 	line := m.LineSize()
-	h := &Hierarchy{machine: m, cfg: cfg}
+	h := &Hierarchy{machine: m, cfg: cfg, coreOf: m.CPUCoreTable(), nodeOf: m.CPUNodeTable()}
 	for 1<<h.lineBits < line {
 		h.lineBits++
 	}
@@ -279,17 +444,17 @@ func NewHierarchy(m *topology.Machine, cfg Config) (*Hierarchy, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cache: L2: %w", err)
 		}
-		h.l1 = append(h.l1, l1)
-		h.l2 = append(h.l2, l2)
-		h.lfbs = append(h.lfbs, newLFB(cfg.LFBEntries))
-		h.pf = append(h.pf, newPrefetcher(cfg.PrefetchStreams, cfg.PrefetchDepth))
+		h.l1 = append(h.l1, *l1)
+		h.l2 = append(h.l2, *l2)
+		h.lfbs = append(h.lfbs, *newLFB(cfg.LFBEntries))
+		h.pf = append(h.pf, *newPrefetcher(cfg.PrefetchStreams, cfg.PrefetchDepth))
 	}
 	for n := 0; n < m.Nodes(); n++ {
 		l3, err := newSetAssoc(cfg.L3Size, cfg.L3Assoc, line)
 		if err != nil {
 			return nil, fmt.Errorf("cache: L3: %w", err)
 		}
-		h.l3 = append(h.l3, l3)
+		h.l3 = append(h.l3, *l3)
 	}
 	return h, nil
 }
@@ -297,23 +462,49 @@ func NewHierarchy(m *topology.Machine, cfg Config) (*Hierarchy, error) {
 // Config returns the effective configuration after defaults were applied.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// Release flushes h and returns it to the recycle pool consulted by
+// NewHierarchy. The hierarchy must not be used after Release; the next
+// NewHierarchy call with the same machine and configuration may hand it to
+// another caller.
+func (h *Hierarchy) Release() {
+	h.Flush()
+	p, _ := hierPool.LoadOrStore(hierKey{h.machine, h.cfg}, new(sync.Pool))
+	p.(*sync.Pool).Put(h)
+}
+
 // Access runs one demand access (read or write, write-allocate) issued by
 // cpu through the hierarchy.
 func (h *Hierarchy) Access(cpu topology.CPUID, addr uint64) Result {
-	core := h.machine.CoreOfCPU(cpu)
-	node := h.machine.NodeOfCPU(cpu)
-	if core < 0 || node == topology.InvalidNode {
+	if cpu < 0 || int(cpu) >= len(h.coreOf) {
 		panic(fmt.Sprintf("cache: access from invalid CPU %d", cpu))
 	}
-	line := addr >> h.lineBits
+	return h.AccessOn(h.coreOf[cpu], h.nodeOf[cpu], addr)
+}
 
-	if h.l1[core].access(addr) {
+// AccessOn is the hot-path variant of Access for callers that already hold
+// the issuing CPU's core and node (the engine resolves them once per thread
+// per phase, not once per access). core and node must belong together.
+func (h *Hierarchy) AccessOn(core topology.CoreID, node topology.NodeID, addr uint64) Result {
+	// All levels share the machine's line size, so the biased tag is
+	// computed once. The L1 same-line check is inlined here because the
+	// bulk of sequential traffic resolves on it.
+	line := addr >> h.lineBits
+	tag := line + 1
+	if tag > wayTagMask {
+		panic(fmt.Sprintf("cache: address %#x beyond the supported range", addr))
+	}
+	l1 := &h.l1[core]
+	if tag == l1.lastTag {
+		l1.w[l1.lastIdx] = tag | l1.bump()<<wayTagBits
 		return Result{Level: L1}
 	}
-	if h.l2[core].access(addr) {
+	if l1.accessSlow(tag) {
+		return Result{Level: L1}
+	}
+	if h.l2[core].accessMiss(tag) {
 		return Result{Level: L2}
 	}
-	if h.l3[node].access(addr) {
+	if h.l3[node].accessMiss(tag) {
 		// L2 fill already happened via the access calls above.
 		return Result{Level: L3}
 	}
@@ -332,22 +523,20 @@ func (h *Hierarchy) Access(cpu topology.CPUID, addr uint64) Result {
 }
 
 // Flush empties every cache, LFB and stream table; used between simulation
-// windows so phases do not leak state into each other.
+// windows so phases do not leak state into each other. Every piece of
+// mutable state is invalidated — cache entries (via the O(1) epoch floor,
+// observably identical to zeroing the arrays), LFB cursors and prefetch
+// streams — so back-to-back windows start from bit-identical replacement
+// state, and no per-flush allocation is performed.
 func (h *Hierarchy) Flush() {
 	for i := range h.l1 {
-		for j := range h.l1[i].tags {
-			h.l1[i].tags[j], h.l1[i].use[j] = 0, 0
-		}
-		for j := range h.l2[i].tags {
-			h.l2[i].tags[j], h.l2[i].use[j] = 0, 0
-		}
-		h.lfbs[i] = newLFB(h.cfg.LFBEntries)
-		h.pf[i] = newPrefetcher(h.cfg.PrefetchStreams, h.cfg.PrefetchDepth)
+		h.l1[i].reset()
+		h.l2[i].reset()
+		h.lfbs[i].reset()
+		h.pf[i].reset()
 	}
 	for i := range h.l3 {
-		for j := range h.l3[i].tags {
-			h.l3[i].tags[j], h.l3[i].use[j] = 0, 0
-		}
+		h.l3[i].reset()
 	}
 }
 

@@ -311,3 +311,155 @@ func TestLRUThrashProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestFlushRestoresFreshState drives an access mix that exercises every
+// stateful component — set LRU clocks, LFB cursor, prefetcher streams — then
+// Flushes and requires the replayed mix to classify exactly like it does on a
+// brand-new hierarchy. A Flush that forgot to reset the LRU clock or the
+// LFB/prefetcher cursors would diverge here.
+func TestFlushRestoresFreshState(t *testing.T) {
+	cfg := Config{
+		L1Size: 1 << 10, L1Assoc: 2,
+		L2Size: 4 << 10, L2Assoc: 4,
+		L3Size: 16 << 10, L3Assoc: 4,
+		LFBEntries:    4,
+		PrefetchDepth: 4, PrefetchStreams: 2,
+	}
+	mix := func(h *Hierarchy) []Result {
+		var out []Result
+		for i := 0; i < 4000; i++ {
+			// Two sequential streams (prefetcher + LFB), one thrashing
+			// pointer-chase (LRU eviction pressure), alternating CPUs.
+			cpu := topology.CPUID(i % 4)
+			var addr uint64
+			switch i % 3 {
+			case 0:
+				addr = 0x100000 + uint64(i/3)*64
+			case 1:
+				addr = 0x900000 + uint64(i/3)*64
+			default:
+				addr = 0x500000 + uint64((i*2654435761)%(1<<16))&^63
+			}
+			out = append(out, h.Access(cpu, addr))
+		}
+		return out
+	}
+	dirty := hier(t, cfg)
+	mix(dirty) // pollute every structure
+	dirty.Flush()
+	got := mix(dirty)
+	want := mix(hier(t, cfg))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d after Flush = %+v, fresh hierarchy = %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRenormPreservesLRU forces the packed LRU clock of one setAssoc to the
+// renormalization threshold mid-stream and requires every subsequent access
+// to behave exactly like a twin cache whose clock is nowhere near overflow:
+// renorm must be invisible to hit/miss decisions, including across a reset.
+func TestRenormPreservesLRU(t *testing.T) {
+	fresh := func() *setAssoc {
+		c, err := newSetAssoc(4096, 8, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := fresh(), fresh()
+	drive := func(stage string, n, salt int) {
+		for i := 0; i < n; i++ {
+			var addr uint64
+			switch i % 3 {
+			case 0:
+				addr = uint64(i/3) * 64 // sequential (same-line fast path off: line-grain)
+			case 1:
+				addr = 0x7e0000000000 + uint64(i/3)*64 // high static base
+			default:
+				addr = uint64((i*2654435761+salt)%(1<<14)) &^ 63 // thrash
+			}
+			if ga, gb := a.access(addr), b.access(addr); ga != gb {
+				t.Fatalf("%s access %d (%#x): renormalized cache %v, twin %v", stage, i, addr, ga, gb)
+			}
+		}
+	}
+	drive("warm", 20000, 1)
+	// Jump a's clock to just below the overflow threshold. Existing stamps
+	// stay far below it, so ordering is intact; the next bump renormalizes.
+	a.clock = wayUseMax - 3
+	drive("across renorm", 20000, 2)
+	if a.clock >= wayUseMax {
+		t.Fatalf("clock %d never renormalized (max %d)", a.clock, uint64(wayUseMax))
+	}
+	// A reset (floor snapshot) after renorm must still invalidate everything.
+	a.reset()
+	b.reset()
+	drive("after reset", 20000, 3)
+	// And a renorm with a non-zero floor must keep stale entries stale:
+	// reset both (floor snapshots the clock), then push only a's clock to
+	// the threshold so its renorm runs while the flushed entries are stale.
+	a.reset()
+	b.reset()
+	a.clock = wayUseMax - 3
+	drive("renorm with floor", 20000, 4)
+}
+
+// TestReleaseRecyclesEquivalently drives a hierarchy hard, releases it, and
+// requires the next NewHierarchy for the same machine+config — which should
+// hand the recycled instance back — to behave exactly like a freshly built
+// one.
+func TestReleaseRecyclesEquivalently(t *testing.T) {
+	m := topology.Uniform(2, 2)
+	cfg := Config{
+		L1Size: 1 << 10, L1Assoc: 2,
+		L2Size: 4 << 10, L2Assoc: 4,
+		L3Size: 16 << 10, L3Assoc: 4,
+		LFBEntries:    4,
+		PrefetchDepth: 4, PrefetchStreams: 2,
+	}
+	mix := func(h *Hierarchy) []Result {
+		var out []Result
+		for i := 0; i < 4000; i++ {
+			cpu := topology.CPUID(i % 4)
+			var addr uint64
+			switch i % 3 {
+			case 0:
+				addr = 0x100000 + uint64(i/3)*64
+			case 1:
+				addr = 0x900000 + uint64(i/3)*64
+			default:
+				addr = 0x500000 + uint64((i*2654435761)%(1<<16))&^63
+			}
+			out = append(out, h.Access(cpu, addr))
+		}
+		return out
+	}
+	h1, err := NewHierarchy(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix(h1) // pollute LRU stamps, LFBs, prefetch streams
+	h1.Release()
+
+	h2, err := NewHierarchy(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		// The pool may drop entries (GC); the equivalence check below still
+		// holds, it just no longer exercises the recycle path.
+		t.Log("pool did not return the released hierarchy; testing a fresh one")
+	}
+	fresh, err := NewHierarchy(topology.Uniform(2, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := mix(h2), mix(fresh)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d on recycled hierarchy = %+v, fresh = %+v", i, got[i], want[i])
+		}
+	}
+}

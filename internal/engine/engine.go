@@ -71,6 +71,12 @@ type Config struct {
 	// their collector configs. The engine itself reads the flavor from the
 	// Collector.
 	SamplerFlavor pebs.Flavor
+	// Reference selects the slow map-based reference implementation of the
+	// window and integration stages instead of the dense-indexed fast path.
+	// Both paths share the same randomness discipline and must produce
+	// bit-identical results; equivalence tests run every scenario through
+	// both. Production callers leave this false.
+	Reference bool
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +214,19 @@ type Engine struct {
 	space   *memsim.AddressSpace
 	hier    *cache.Hierarchy
 	cfg     Config
+
+	// Dense per-channel tables indexed by ci = src*nn+dst (the layout of
+	// topology.ChannelIndex), precomputed once so the hot loops never touch a
+	// map or recompute an unloaded latency.
+	nn      int                // nodes
+	nch     int                // nn*nn directed channels
+	chans   []topology.Channel // ci -> Channel
+	bw      []float64          // ci -> bytes/cycle
+	baseLat []float64          // ci -> unloaded DRAM latency
+	lfbLat  []float64          // ci -> unloaded LFB-served latency
+	dstLoc  []int              // ci -> index of {Dst,Dst}, the target controller
+	nodeOf  []topology.NodeID  // cpu -> node
+	coreOf  []topology.CoreID  // cpu -> core
 }
 
 // New builds an engine. hcfg selects the cache geometry (zero value =
@@ -217,39 +236,122 @@ func New(m *topology.Machine, as *memsim.AddressSpace, hcfg cache.Config, cfg Co
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{machine: m, space: as, hier: h, cfg: cfg.withDefaults()}, nil
+	e := &Engine{machine: m, space: as, hier: h, cfg: cfg.withDefaults()}
+	e.nn = m.Nodes()
+	e.nch = m.NumChannels()
+	e.bw = m.BandwidthTable()
+	e.nodeOf = m.CPUNodeTable()
+	e.coreOf = m.CPUCoreTable()
+	e.chans = make([]topology.Channel, e.nch)
+	e.baseLat = make([]float64, e.nch)
+	e.lfbLat = make([]float64, e.nch)
+	e.dstLoc = make([]int, e.nch)
+	for ci := 0; ci < e.nch; ci++ {
+		ch := m.ChannelAt(ci)
+		e.chans[ci] = ch
+		e.baseLat[ci] = e.pairBaseLatency(ch)
+		e.lfbLat[ci] = e.lfbBaseLatency(ch)
+		e.dstLoc[ci] = int(ch.Dst)*e.nn + int(ch.Dst)
+	}
+	return e, nil
 }
 
 // Machine returns the engine's machine.
 func (e *Engine) Machine() *topology.Machine { return e.machine }
 
+// Close releases the engine's cache hierarchy back to the build pool so the
+// next engine on the same machine and cache configuration skips the
+// construction cost. The engine must not be used after Close.
+func (e *Engine) Close() {
+	if e.hier != nil {
+		e.hier.Release()
+		e.hier = nil
+	}
+}
+
 // Space returns the engine's address space.
 func (e *Engine) Space() *memsim.AddressSpace { return e.space }
 
-// record is one reservoir entry from the window simulation.
-type record struct {
-	addr  uint64
-	level cache.Level
-	home  topology.NodeID
-	write bool
+// record is one reservoir entry from the window simulation, packed into a
+// single word so the reservoir-sampling hot path builds and stores 8 bytes
+// per draw instead of a multi-word struct: bits 0..46 hold the address (the
+// cache layer rejects anything wider), bits 47..49 the serving level, bits
+// 50..57 the home node, and bit 58 the write flag.
+type record uint64
+
+const (
+	recAddrBits   = 47
+	recAddrMask   = 1<<recAddrBits - 1
+	recLevelShift = recAddrBits
+	recHomeShift  = recLevelShift + 3
+	recWriteShift = recHomeShift + 8
+)
+
+// packRecord builds a record. home must already be normalized (never
+// InvalidNode) and below 256; level fits the three bits by construction.
+func packRecord(addr uint64, level cache.Level, home topology.NodeID, write bool) record {
+	r := record(addr&recAddrMask) |
+		record(level)<<recLevelShift |
+		record(uint8(home))<<recHomeShift
+	if write {
+		r |= 1 << recWriteShift
+	}
+	return r
 }
 
-// profile is a thread's steady-state access profile.
+func (r record) addr() uint64          { return uint64(r) & recAddrMask }
+func (r record) level() cache.Level    { return cache.Level(r >> recLevelShift & 7) }
+func (r record) home() topology.NodeID { return topology.NodeID(r >> recHomeShift & 0xff) }
+func (r record) write() bool           { return r>>recWriteShift&1 != 0 }
+
+// profile is a thread's steady-state access profile. The per-channel tables
+// are dense, indexed by ci = src*nn+dst; the *Cis lists hold the ascending
+// indices of the nonzero entries so the integration loops touch only live
+// channels, in a deterministic order.
 type profile struct {
 	total float64
 	// fLevel[cache.L1..] are fractions of accesses served per layer
 	// (prefetched accesses count under LFB).
 	fLevel [5]float64
-	// memFrac[pair] is the fraction of accesses served by DRAM of pair.Dst
-	// issued from pair.Src (always the thread's node).
-	memFrac map[topology.Channel]float64
-	// lfbFrac[pair] is the fraction of LFB-served accesses whose line homes
-	// on pair.Dst.
-	lfbFrac map[topology.Channel]float64
-	// traffic[ch] is lines-per-access crossing physical channel ch (remote
+	// memFrac[ci] is the fraction of accesses served by DRAM of dst issued
+	// from src (always the thread's node).
+	memFrac []float64
+	// lfbFrac[ci] is the fraction of LFB-served accesses whose line homes
+	// on dst.
+	lfbFrac []float64
+	// traffic[ci] is lines-per-access crossing physical channel ci (remote
 	// accesses contribute to both the link and the target controller).
-	traffic   map[topology.Channel]float64
-	reservoir []record
+	traffic                 []float64
+	memCis, lfbCis, trafCis []int32
+	reservoir               []record
+}
+
+// splitmix64 is the standard 64-bit seed mixer; it turns structured seeds
+// (seed ^ phase ^ thread) into well-distributed xorshift states.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// reservoirSeed derives the per-thread xorshift state for the window
+// reservoir. Shared by the fast and reference paths.
+func (e *Engine) reservoirSeed(phaseIdx uint64, thread int) uint64 {
+	s := splitmix64(e.cfg.Seed ^ phaseIdx*1315423911 ^ uint64(thread)*0x9e3779b97f4a7c15)
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15 // xorshift must not start at zero
+	}
+	return s
+}
+
+// xorshift64 advances the reservoir RNG state; callers keep the returned
+// state. One multiply-free step is all the reservoir draw needs.
+func xorshift64(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
 }
 
 // Run executes phases with the given thread binding. Every phase must have
@@ -282,129 +384,218 @@ func (e *Engine) Run(phases []trace.Phase, bind Binding) (*Result, error) {
 }
 
 func (e *Engine) runPhase(ph trace.Phase, bind Binding, start float64, rng *rand.Rand, phaseIdx uint64) (*PhaseResult, error) {
-	profiles, err := e.window(ph, bind, rng, phaseIdx)
+	if e.cfg.Reference {
+		profiles, err := e.windowRef(ph, bind, phaseIdx)
+		if err != nil {
+			return nil, err
+		}
+		return e.integrateRef(ph, bind, profiles, start, rng)
+	}
+	profiles, err := e.window(ph, bind, phaseIdx)
 	if err != nil {
 		return nil, err
 	}
 	return e.integrate(ph, bind, profiles, start, rng)
 }
 
+// streamBatch is how many accesses each thread's stream refill pulls at once;
+// it amortizes the per-access interface dispatch of Stream.Next.
+const streamBatch = 256
+
+// winThread is the per-thread state of one simulation window, gathered into
+// one struct so the hot loop does a single indexed load per thread per step
+// instead of touching a dozen parallel slices.
+type winThread struct {
+	idx  int // thread index (seeds, profiles)
+	node topology.NodeID
+	core topology.CoreID
+
+	// Batched stream refill. A short refill means the stream hit its window
+	// boundary; the Reset the per-access path performed at the boundary step
+	// is deferred to the step that actually needs the next access, with the
+	// same step-derived seed.
+	stream trace.Stream
+	buf    []trace.Access
+	bpos   int
+	blen   int
+	bshort bool
+
+	rstate uint64   // reservoir xorshift state
+	seen   int      // post-warmup accesses observed (reservoir index)
+	res    []record // reservoir, handed to prof after the loop
+	total  int
+	level  [5]int
+	mem    []int // per-channel counters, indexed by ci = src*nn+dst
+	lfb    []int
+	traf   []int
+	prof   *profile
+}
+
+// refill loads the next batch from the thread's stream, applying the
+// deferred window-boundary Reset with the seed of the step that consumes
+// the first access.
+func (t *winThread) refill(seed uint64, step int) error {
+	t.buf = t.buf[:cap(t.buf)]
+	stepSeed := seed ^ (uint64(step+1) * 2654435761) ^ uint64(t.idx)
+	var m int
+	if t.bshort {
+		// The previous refill ended at the stream's window boundary; this
+		// step is where Next would have returned ok=false.
+		t.stream.Reset(stepSeed)
+		m = trace.Fill(t.stream, t.buf)
+		if m == 0 {
+			return fmt.Errorf("thread %d stream produced no accesses", t.idx)
+		}
+	} else {
+		m = trace.Fill(t.stream, t.buf)
+		if m == 0 {
+			// Boundary landed exactly on the refill point.
+			t.stream.Reset(stepSeed)
+			m = trace.Fill(t.stream, t.buf)
+			if m == 0 {
+				return fmt.Errorf("thread %d stream produced no accesses", t.idx)
+			}
+		}
+	}
+	t.bshort = m < streamBatch
+	t.bpos, t.blen = 0, m
+	return nil
+}
+
 // window drives every thread's stream through the caches and builds
-// profiles.
-func (e *Engine) window(ph trace.Phase, bind Binding, rng *rand.Rand, phaseIdx uint64) ([]*profile, error) {
+// profiles. Per-channel accounting is dense (indexed by ci = src*nn+dst) in
+// flat integer tables; map/struct forms exist only at phase boundaries.
+func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64) ([]*profile, error) {
 	e.hier.Flush()
 	n := len(bind)
+	nn, nch := e.nn, e.nch
 	profiles := make([]*profile, n)
-	streams := make([]trace.Stream, n)
-	active := make([]bool, n)
+	// act holds the running threads in thread order; the interleave below
+	// visits them exactly as the per-access path visited the active subset.
+	act := make([]winThread, 0, n)
 	for i, spec := range ph.Threads {
-		profiles[i] = &profile{
-			memFrac: make(map[topology.Channel]float64),
-			lfbFrac: make(map[topology.Channel]float64),
-			traffic: make(map[topology.Channel]float64),
+		profiles[i] = &profile{}
+		if spec.Stream == nil || spec.Ops <= 0 {
+			continue
 		}
-		if spec.Stream != nil && spec.Ops > 0 {
-			streams[i] = spec.Stream
-			streams[i].Reset(e.cfg.Seed + phaseIdx*1315423911 + uint64(i))
-			active[i] = true
-		}
+		spec.Stream.Reset(e.cfg.Seed + phaseIdx*1315423911 + uint64(i))
+		act = append(act, winThread{
+			idx:    i,
+			node:   e.nodeOf[bind[i]],
+			core:   e.coreOf[bind[i]],
+			stream: spec.Stream,
+			buf:    make([]trace.Access, 0, streamBatch),
+			rstate: e.reservoirSeed(phaseIdx, i),
+			res:    make([]record, 0, e.cfg.ReservoirSize),
+			mem:    make([]int, nch),
+			lfb:    make([]int, nch),
+			traf:   make([]int, nch),
+			prof:   profiles[i],
+		})
 	}
 
 	total := e.cfg.Warmup + e.cfg.Window
-	// counts are accumulated as integers during the walk for speed.
-	type counts struct {
-		total    int
-		level    [5]int
-		mem, lfb map[topology.Channel]int
-		traffic  map[topology.Channel]int
-		seen     int // post-warmup accesses observed (reservoir index)
-	}
-	cs := make([]*counts, n)
-	for i := range cs {
-		cs[i] = &counts{
-			mem:     make(map[topology.Channel]int),
-			lfb:     make(map[topology.Channel]int),
-			traffic: make(map[topology.Channel]int),
-		}
-	}
+	hier, space, seed := e.hier, e.space, e.cfg.Seed
+	rsz := e.cfg.ReservoirSize
 
 	// Round-robin interleave so the shared L3 and first-touch resolution see
 	// concurrent access. Each turn advances one access per active thread.
-	for step := 0; step < total; step++ {
-		warm := step < e.cfg.Warmup
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				continue
-			}
-			a, ok := streams[i].Next()
-			if !ok {
-				streams[i].Reset(e.cfg.Seed ^ (uint64(step+1) * 2654435761) ^ uint64(i))
-				a, ok = streams[i].Next()
-				if !ok {
-					return nil, fmt.Errorf("thread %d stream produced no accesses", i)
+	// The warmup steps run as their own loop: they exist to populate the
+	// caches and trigger first-touch placement (HomeFor's side effect), so
+	// they skip the accounting and the per-access warm check entirely.
+	warmup := e.cfg.Warmup
+	for step := 0; step < warmup; step++ {
+		for ti := range act {
+			t := &act[ti]
+			if t.bpos == t.blen {
+				if err := t.refill(seed, step); err != nil {
+					return nil, err
 				}
 			}
-			cpu := bind[i]
-			node := e.machine.NodeOfCPU(cpu)
-			r := e.hier.Access(cpu, a.Addr)
-			home := node
+			a := &t.buf[t.bpos]
+			t.bpos++
+			r := hier.AccessOn(t.core, t.node, a.Addr)
 			if r.Level == cache.MEM || r.Level == cache.LFB {
-				home = e.space.HomeFor(a.Addr, node)
-				if home == topology.InvalidNode {
-					home = node
+				space.HomeFor(a.Addr, t.node)
+			}
+		}
+	}
+	for step := warmup; step < total; step++ {
+		for ti := range act {
+			t := &act[ti]
+			if t.bpos == t.blen {
+				if err := t.refill(seed, step); err != nil {
+					return nil, err
 				}
 			}
-			if warm {
-				continue
+			a := &t.buf[t.bpos]
+			t.bpos++
+			r := hier.AccessOn(t.core, t.node, a.Addr)
+			home := t.node
+			if r.Level == cache.MEM || r.Level == cache.LFB {
+				home = space.HomeFor(a.Addr, t.node)
+				if home == topology.InvalidNode {
+					home = t.node
+				}
 			}
-			c := cs[i]
-			c.total++
-			c.level[r.Level]++
-			pair := topology.Channel{Src: node, Dst: home}
+			t.total++
+			t.level[r.Level]++
+			ci := int(t.node)*nn + int(home)
 			switch r.Level {
 			case cache.MEM:
-				c.mem[pair]++
+				t.mem[ci]++
 			case cache.LFB:
-				c.lfb[pair]++
+				t.lfb[ci]++
 			}
 			if r.DRAMTraffic {
-				if pair.Local() {
-					c.traffic[pair]++
-				} else {
-					c.traffic[pair]++
-					c.traffic[topology.Channel{Src: home, Dst: home}]++
+				t.traf[ci]++
+				if t.node != home {
+					t.traf[int(home)*nn+int(home)]++
 				}
 			}
-			// Uniform reservoir of concrete records.
-			p := profiles[i]
-			c.seen++
-			rec := record{addr: a.Addr, level: r.Level, home: home, write: a.Write}
-			if len(p.reservoir) < e.cfg.ReservoirSize {
-				p.reservoir = append(p.reservoir, rec)
-			} else if j := rng.Intn(c.seen); j < e.cfg.ReservoirSize {
-				p.reservoir[j] = rec
+			// Uniform reservoir of concrete records; the record is only
+			// materialized on the paths that store it.
+			t.seen++
+			if len(t.res) < rsz {
+				t.res = append(t.res, packRecord(a.Addr, r.Level, home, a.Write))
+			} else {
+				x := xorshift64(t.rstate)
+				t.rstate = x
+				if j := int(x % uint64(t.seen)); j < rsz {
+					t.res[j] = packRecord(a.Addr, r.Level, home, a.Write)
+				}
 			}
 		}
 	}
 
-	for i, c := range cs {
-		p := profiles[i]
-		if c.total == 0 {
+	for ti := range act {
+		t := &act[ti]
+		t.prof.reservoir = t.res
+		if t.total == 0 {
 			continue
 		}
-		tf := float64(c.total)
+		p := t.prof
+		tf := float64(t.total)
 		p.total = tf
 		for l := 0; l < 5; l++ {
-			p.fLevel[l] = float64(c.level[l]) / tf
+			p.fLevel[l] = float64(t.level[l]) / tf
 		}
-		for ch, v := range c.mem {
-			p.memFrac[ch] = float64(v) / tf
-		}
-		for ch, v := range c.lfb {
-			p.lfbFrac[ch] = float64(v) / tf
-		}
-		for ch, v := range c.traffic {
-			p.traffic[ch] = float64(v) / tf
+		p.memFrac = make([]float64, nch)
+		p.lfbFrac = make([]float64, nch)
+		p.traffic = make([]float64, nch)
+		for ci := 0; ci < nch; ci++ {
+			if v := t.mem[ci]; v > 0 {
+				p.memFrac[ci] = float64(v) / tf
+				p.memCis = append(p.memCis, int32(ci))
+			}
+			if v := t.lfb[ci]; v > 0 {
+				p.lfbFrac[ci] = float64(v) / tf
+				p.lfbCis = append(p.lfbCis, int32(ci))
+			}
+			if v := t.traf[ci]; v > 0 {
+				p.traffic[ci] = float64(v) / tf
+				p.trafCis = append(p.trafCis, int32(ci))
+			}
 		}
 	}
 	return profiles, nil
@@ -466,6 +657,18 @@ func (e *Engine) pairLatency(pair topology.Channel, util map[topology.Channel]fl
 	return e.pairBaseLatency(pair) * e.pairInflation(pair, util)
 }
 
+// pairInflationCi is pairInflation over the dense utilization table.
+func (e *Engine) pairInflationCi(ci int, util []float64) float64 {
+	dl := e.dstLoc[ci]
+	u := util[dl]
+	if ci != dl {
+		if lu := util[ci]; lu > u {
+			u = lu
+		}
+	}
+	return e.inflation(u)
+}
+
 // integrate advances the phase over time epochs until every thread finishes.
 func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, start float64, rng *rand.Rand) (*PhaseResult, error) {
 	n := len(bind)
@@ -510,15 +713,17 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 
 	// Threads sharing a physical core contend for issue slots; compute-bound
 	// work degrades with SMT sharing while memory stalls overlap freely.
-	coreLoad := make(map[topology.CoreID]float64)
+	coreLoad := make([]float64, e.machine.NumCores())
 	for i := range bind {
 		if ph.Threads[i].Ops > 0 && profiles[i].total > 0 {
-			coreLoad[e.machine.CoreOfCPU(bind[i])]++
+			coreLoad[e.coreOf[bind[i]]]++
 		}
 	}
 
 	// Unloaded issue rate of each thread (accesses/cycle): constant per
-	// phase because the profile is steady-state.
+	// phase because the profile is steady-state. Channel sums iterate the
+	// nonzero-index lists in ascending ci order, so float accumulation order
+	// is deterministic (maps would reassociate the sums run to run).
 	r0 := make([]float64, n)
 	for i := range r0 {
 		if remaining[i] <= 0 || profiles[i].total == 0 {
@@ -527,14 +732,14 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 		p := profiles[i]
 		spec := ph.Threads[i]
 		memLat := 0.0
-		for pair, f := range p.memFrac {
-			memLat += f * e.pairBaseLatency(pair)
+		for _, ci := range p.memCis {
+			memLat += p.memFrac[ci] * e.baseLat[ci]
 		}
-		for pair, f := range p.lfbFrac {
-			memLat += f * e.lfbBaseLatency(pair)
+		for _, ci := range p.lfbCis {
+			memLat += p.lfbFrac[ci] * e.lfbLat[ci]
 		}
 		cacheLat := p.fLevel[cache.L1]*lat.L1 + p.fLevel[cache.L2]*lat.L2 + p.fLevel[cache.L3]*lat.L3
-		per := spec.WorkCycles*coreLoad[e.machine.CoreOfCPU(bind[i])] + (cacheLat+memLat)/mlp[i]
+		per := spec.WorkCycles*coreLoad[e.coreOf[bind[i]]] + (cacheLat+memLat)/mlp[i]
 		if per <= 0 {
 			per = 0.1
 		}
@@ -543,12 +748,21 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 
 	now := 0.0
 	var dramAccAcc, dramLatAcc float64
-	util := make(map[topology.Channel]float64)
+	nch := e.nch
+	util := make([]float64, nch)
+	bytesAcc := make([]float64, nch)
+	peakUtil := make([]float64, nch)
+	avgUtilAcc := make([]float64, nch)
+	eff := make([]float64, n)
+	nodes := make([]topology.NodeID, n)
+	for i := range bind {
+		nodes[i] = e.nodeOf[bind[i]]
+	}
 
 	for epoch := 0; epoch < e.cfg.MaxEpochs; epoch++ {
 		// Offered utilization from the unthrottled rates of running threads.
-		for ch := range util {
-			delete(util, ch)
+		for ci := range util {
+			util[ci] = 0
 		}
 		running := false
 		for i := range r0 {
@@ -556,8 +770,9 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 				continue
 			}
 			running = true
-			for ch, f := range profiles[i].traffic {
-				util[ch] += r0[i] * f * lineSize / e.machine.Bandwidth(ch)
+			p := profiles[i]
+			for _, ci := range p.trafCis {
+				util[ci] += r0[i] * p.traffic[ci] * lineSize / e.bw[ci]
 			}
 		}
 		if !running {
@@ -566,17 +781,18 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 		// Fair-share throughput: every flow crossing an oversubscribed
 		// channel is scaled by the worst oversubscription it crosses, which
 		// brings each channel to at most its capacity.
-		eff := make([]float64, n)
 		for i := range r0 {
+			eff[i] = 0
 			if remaining[i] <= 0 || r0[i] == 0 {
 				continue
 			}
 			worst := 1.0
-			for ch, f := range profiles[i].traffic {
-				if f <= 1e-9 {
+			p := profiles[i]
+			for _, ci := range p.trafCis {
+				if p.traffic[ci] <= 1e-9 {
 					continue
 				}
-				if u := util[ch]; u > worst {
+				if u := util[ci]; u > worst {
 					worst = u
 				}
 			}
@@ -626,17 +842,15 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 			}
 			remaining[i] -= done
 			p := profiles[i]
-			for ch, f := range p.traffic {
-				s := pr.Channels[ch]
-				s.Bytes += done * f * lineSize
-				pr.Channels[ch] = s
+			for _, ci := range p.trafCis {
+				bytesAcc[ci] += done * p.traffic[ci] * lineSize
 			}
-			for pair, f := range p.memFrac {
-				cnt := done * f
-				l := e.pairLatency(pair, util)
+			for _, ci := range p.memCis {
+				cnt := done * p.memFrac[ci]
+				l := e.baseLat[ci] * e.pairInflationCi(int(ci), util)
 				dramAccAcc += cnt
 				dramLatAcc += cnt * l
-				if pair.Local() {
+				if int(ci) == e.dstLoc[ci] {
 					pr.LocalDRAMAccesses += cnt
 				} else {
 					pr.RemoteDRAMAccesses += cnt
@@ -648,17 +862,19 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 				for sampleAcc[i] >= period {
 					sampleAcc[i] -= period
 					rec := p.reservoir[rng.Intn(len(p.reservoir))]
-					e.emitSample(i, bind[i], rec, start+now+rng.Float64()*dt, util, rng)
+					e.emitSample(i, bind[i], nodes[i], rec, start+now+rng.Float64()*dt, util, rng)
 				}
 			}
 		}
-		for ch, u := range util {
-			s := pr.Channels[ch]
-			if u > s.PeakUtil {
-				s.PeakUtil = u
+		for ci := 0; ci < nch; ci++ {
+			u := util[ci]
+			if u == 0 {
+				continue
 			}
-			s.AvgUtil += u * dt // normalized at the end
-			pr.Channels[ch] = s
+			if u > peakUtil[ci] {
+				peakUtil[ci] = u
+			}
+			avgUtilAcc[ci] += u * dt // normalized at the end
 		}
 		now += dt
 	}
@@ -673,11 +889,18 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 			pr.Cycles = finish[i]
 		}
 	}
-	if pr.Cycles > 0 {
-		for ch, s := range pr.Channels {
-			s.AvgUtil /= pr.Cycles
-			pr.Channels[ch] = s
+	// Dense accumulators convert to the public map form only here, at the
+	// phase boundary; channels that never carried traffic or utilization get
+	// no entry, matching the map-based accounting.
+	for ci := 0; ci < nch; ci++ {
+		if bytesAcc[ci] == 0 && peakUtil[ci] == 0 && avgUtilAcc[ci] == 0 {
+			continue
 		}
+		s := ChannelStats{Bytes: bytesAcc[ci], PeakUtil: peakUtil[ci], AvgUtil: avgUtilAcc[ci]}
+		if pr.Cycles > 0 {
+			s.AvgUtil /= pr.Cycles
+		}
+		pr.Channels[e.chans[ci]] = s
 	}
 	if dramAccAcc > 0 {
 		pr.AvgDRAMLatency = dramLatAcc / dramAccAcc
@@ -687,12 +910,11 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 
 // emitSample synthesizes one PEBS sample from a reservoir record under the
 // current contention state.
-func (e *Engine) emitSample(thread int, cpu topology.CPUID, rec record, t float64, util map[topology.Channel]float64, rng *rand.Rand) {
+func (e *Engine) emitSample(thread int, cpu topology.CPUID, node topology.NodeID, rec record, t float64, util []float64, rng *rand.Rand) {
 	lat := e.machine.Latencies()
-	node := e.machine.NodeOfCPU(cpu)
-	pair := topology.Channel{Src: node, Dst: rec.home}
+	ci := int(node)*e.nn + int(rec.home())
 	var l float64
-	switch rec.level {
+	switch rec.level() {
 	case cache.L1:
 		l = lat.L1
 	case cache.L2:
@@ -700,9 +922,9 @@ func (e *Engine) emitSample(thread int, cpu topology.CPUID, rec record, t float6
 	case cache.L3:
 		l = lat.L3
 	case cache.LFB:
-		l = e.lfbBaseLatency(pair) * e.pairInflation(pair, util)
+		l = e.lfbLat[ci] * e.pairInflationCi(ci, util)
 	case cache.MEM:
-		l = e.pairLatency(pair, util)
+		l = e.baseLat[ci] * e.pairInflationCi(ci, util)
 	}
 	// Measurement noise: PEBS's dedicated latency counter carries ±20%
 	// pipeline-induced spread; IBS derives load timing from tagged-op
@@ -716,10 +938,10 @@ func (e *Engine) emitSample(thread int, cpu topology.CPUID, rec record, t float6
 		Time:    t,
 		CPU:     cpu,
 		Thread:  thread,
-		Addr:    rec.addr,
-		Level:   rec.level,
+		Addr:    rec.addr(),
+		Level:   rec.level(),
 		Latency: l,
-		Write:   rec.write,
+		Write:   rec.write(),
 	}
 	pebs.Resolve(&s, e.machine, e.space)
 	// The engine knows the true serving node (replicas resolve locally); the

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"drbw/internal/memsim"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+// equivScenario builds one workload twice (fresh address space and streams
+// each time, so cache/page state cannot leak between runs) and runs it through
+// the dense fast path and the map-based reference path.
+type equivScenario struct {
+	name    string
+	threads int
+	nodes   int
+	pol     memsim.Policy
+	flavor  pebs.Flavor
+	collect bool
+	seed    uint64
+}
+
+// TestReferenceEquivalence requires the dense fast path and the reference
+// path to produce bit-identical Results and PEBS sample streams. This is the
+// strong form of the golden pin: not "close enough", but the same floats.
+func TestReferenceEquivalence(t *testing.T) {
+	m := topology.XeonE5_4650()
+	scenarios := []equivScenario{
+		{name: "centralized-pebs", threads: 16, nodes: 4, pol: memsim.BindTo(0), collect: true, seed: 41},
+		{name: "interleaved-ibs", threads: 16, nodes: 4, pol: memsim.InterleaveAll(), flavor: pebs.IBS, collect: true, seed: 42},
+		{name: "first-touch-nocollect", threads: 8, nodes: 2, pol: memsim.FirstTouchPolicy(), seed: 43},
+		{name: "replicated", threads: 8, nodes: 2, pol: memsim.ReplicateAll(), collect: true, seed: 44},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			run := func(ref bool) (*Result, []pebs.Sample) {
+				as, ph, _, _ := scanWorkload(t, m, sc.threads, sc.pol, 2e6)
+				cfg := testConfig(sc.seed)
+				cfg.Reference = ref
+				var col *pebs.Collector
+				if sc.collect {
+					col = pebs.NewCollector(pebs.Config{Flavor: sc.flavor, Period: 1500, OverheadCycles: 900}, sc.seed)
+					cfg.Collector = col
+				}
+				e, err := New(m, as, smallCaches(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bind, err := EvenBinding(m, sc.threads, sc.nodes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := e.Run([]trace.Phase{ph}, bind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if col != nil {
+					return res, col.Samples()
+				}
+				return res, nil
+			}
+			fastRes, fastSamples := run(false)
+			refRes, refSamples := run(true)
+			if !reflect.DeepEqual(fastRes, refRes) {
+				t.Errorf("Result diverges between fast and reference paths")
+				for pi := range fastRes.Phases {
+					f, r := fastRes.Phases[pi], refRes.Phases[pi]
+					if f.Cycles != r.Cycles {
+						t.Errorf("phase %d Cycles: fast %v ref %v", pi, f.Cycles, r.Cycles)
+					}
+					if !reflect.DeepEqual(f.Channels, r.Channels) {
+						t.Errorf("phase %d Channels: fast %v ref %v", pi, f.Channels, r.Channels)
+					}
+					if f.AvgDRAMLatency != r.AvgDRAMLatency {
+						t.Errorf("phase %d AvgDRAMLatency: fast %v ref %v", pi, f.AvgDRAMLatency, r.AvgDRAMLatency)
+					}
+				}
+			}
+			if len(fastSamples) != len(refSamples) {
+				t.Fatalf("sample count: fast %d ref %d", len(fastSamples), len(refSamples))
+			}
+			for i := range fastSamples {
+				if fastSamples[i] != refSamples[i] {
+					t.Fatalf("sample %d diverges:\nfast %+v\nref  %+v", i, fastSamples[i], refSamples[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReferenceEquivalenceMultiStream covers the stream implementations that
+// exercise the generic Fill fallback and multi-phase runs: the batched refill
+// must reset streams at exactly the same steps as the per-access path.
+func TestReferenceEquivalenceMultiStream(t *testing.T) {
+	m := topology.XeonE5_4650()
+	run := func(ref bool) *Result {
+		as := memsim.NewAddressSpace(m)
+		const base = 0x10000000
+		if err := as.Map(base, 8<<20, memsim.BindTo(0), false); err != nil {
+			t.Fatal(err)
+		}
+		mkThreads := func() []trace.ThreadSpec {
+			var specs []trace.ThreadSpec
+			for i := 0; i < 8; i++ {
+				off := uint64(i) * (1 << 20)
+				var s trace.Stream
+				switch i % 4 {
+				case 0: // short window: many boundary resets per window sim
+					s = &trace.Seq{Base: base + off, Len: 13 * 8, Elem: 8, WriteEvery: 3}
+				case 1:
+					s = &trace.Rand{Base: base + off, Len: 1 << 18, Elem: 8, WriteFrac: 0.2}
+				case 2:
+					s = &trace.Gather{IndexBase: base + off, IndexLen: 37 * 4, IndexElem: 4,
+						DataBase: base + off + (1 << 19), DataLen: 1 << 18, DataElem: 8}
+				default:
+					s = &trace.Stencil{InBase: base + off, OutBase: base + off + (1 << 19), X: 7, Y: 5, Z: 3, Elem: 8}
+				}
+				specs = append(specs, trace.ThreadSpec{Stream: s, Ops: 5e5, MLP: 4, WorkCycles: 2})
+			}
+			return specs
+		}
+		phases := []trace.Phase{
+			{Name: "a", Threads: mkThreads()},
+			{Name: "b", Threads: mkThreads()},
+		}
+		cfg := testConfig(77)
+		cfg.Reference = ref
+		e, err := New(m, as, smallCaches(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bind, err := EvenBinding(m, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(phases, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(false)
+	ref := run(true)
+	if !reflect.DeepEqual(fast, ref) {
+		t.Errorf("multi-stream Result diverges between fast and reference paths:\nfast %+v\nref  %+v", fast, ref)
+	}
+}

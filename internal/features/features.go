@@ -132,14 +132,93 @@ func Extract(samples []pebs.Sample, ch topology.Channel, weight float64) Vector 
 
 // ChannelVectors computes one vector per remote channel that has at least
 // minSamples samples, over the whole machine.
+//
+// It is a single dense pass over the samples: every Table I statistic is
+// either per-source-socket (shared by all channels of that socket) or per
+// directed channel, so one walk accumulates both and the vectors assemble at
+// the end — O(samples + channels) instead of Extract's O(channels × samples).
+// The output is bit-identical to calling Extract per channel: each
+// accumulator adds the same floats in the same (global sample) order.
 func ChannelVectors(m *topology.Machine, samples []pebs.Sample, weight float64, minSamples int) map[topology.Channel]Vector {
-	perChannel := pebs.Associate(samples)
+	if weight <= 0 {
+		weight = 1
+	}
+	nn := m.Nodes()
+	nch := m.NumChannels()
+	// Per-source-socket aggregates.
+	batch := make([]float64, nn)
+	latSum := make([]float64, nn)
+	above := make([][5]float64, nn)
+	local := make([]float64, nn)
+	localLat := make([]float64, nn)
+	lfb := make([]float64, nn)
+	lfbLat := make([]float64, nn)
+	// Per directed channel: remote-DRAM terms and the minSamples gate (the
+	// gate mirrors pebs.Associate, which files MEM/LFB samples under their
+	// src→home channel).
+	remote := make([]float64, nch)
+	remoteLat := make([]float64, nch)
+	assoc := make([]int, nch)
+	for _, s := range samples {
+		src := int(s.SrcNode)
+		if src < 0 || src >= nn {
+			continue // cannot belong to any channel's source batch
+		}
+		batch[src]++
+		latSum[src] += s.Latency
+		for i, th := range latencyThresholds {
+			if s.Latency > th {
+				above[src][i]++
+			}
+		}
+		home := int(s.HomeNode)
+		homeValid := home >= 0 && home < nn
+		switch {
+		case s.Level == cache.MEM && homeValid && home != src:
+			remote[src*nn+home]++
+			remoteLat[src*nn+home] += s.Latency
+		case s.Level == cache.MEM && s.HomeNode == s.SrcNode:
+			local[src]++
+			localLat[src] += s.Latency
+		case s.Level == cache.LFB:
+			lfb[src]++
+			lfbLat[src] += s.Latency
+		}
+		if (s.Level == cache.MEM || s.Level == cache.LFB) && homeValid {
+			assoc[src*nn+home]++
+		}
+	}
+
 	out := make(map[topology.Channel]Vector)
 	for _, ch := range m.RemoteChannels() {
-		if len(perChannel[ch]) < minSamples {
+		ci := m.ChannelIndex(ch)
+		if assoc[ci] < minSamples {
 			continue
 		}
-		out[ch] = Extract(samples, ch, weight)
+		var v Vector
+		src := int(ch.Src)
+		if batch[src] == 0 {
+			out[ch] = v
+			continue
+		}
+		for i := 0; i < 5; i++ {
+			v[i] = above[src][i] / batch[src]
+		}
+		v[5] = remote[ci] * weight
+		if remote[ci] > 0 {
+			v[6] = remoteLat[ci] / remote[ci]
+		}
+		v[7] = local[src] * weight
+		if local[src] > 0 {
+			v[8] = localLat[src] / local[src]
+		}
+		v[9] = batch[src] * weight
+		v[10] = latSum[src] / batch[src]
+		v[11] = lfb[src] * weight
+		if lfb[src] > 0 {
+			v[12] = lfbLat[src] / lfb[src]
+		}
+		out[ch] = v
 	}
 	return out
 }

@@ -100,15 +100,49 @@ func (r *region) pageIndex(addr uint64) int {
 }
 
 // AddressSpace is a simulated virtual address space on one machine. It is
-// not safe for concurrent mutation; the engine drives it single-threaded.
+// not safe for concurrent use — even lookups update the internal memoization
+// caches; the engine drives each space single-threaded.
 type AddressSpace struct {
 	machine *topology.Machine
 	regions []*region // sorted by base, non-overlapping
+
+	// findHit caches the region of the last successful find: access streams
+	// are highly local, so the binary search is nearly always redundant.
+	// Invalidated whenever the region list changes.
+	findHit *region
+	// homeMemo is a direct-mapped cache of recent HomeFor resolutions at page
+	// granularity, keyed by (page, accessor). It is sized so the engine's
+	// round-robin thread interleave — where consecutive lookups come from
+	// different threads on different pages — still hits on each thread's
+	// current page. Entries are validated against gen, which every placement
+	// mutation (Map/Unmap/SetPolicy/first-touch) bumps, so a stale node can
+	// never be served.
+	homeMemo [homeMemoSize]homeMemoEntry
+	gen      uint64
+}
+
+const homeMemoSize = 128 // power of two
+
+type homeMemoEntry struct {
+	gen        uint64
+	start, end uint64 // page-aligned [start, end) within one region
+	accessor   topology.NodeID
+	node       topology.NodeID
+}
+
+func homeMemoSlot(addr uint64, accessor topology.NodeID) uint64 {
+	return (addr>>12 ^ uint64(accessor)*0x9e3779b9) & (homeMemoSize - 1)
+}
+
+// invalidate drops every memoized lookup; called on any placement mutation.
+func (as *AddressSpace) invalidate() {
+	as.findHit = nil
+	as.gen++
 }
 
 // NewAddressSpace returns an empty address space for machine m.
 func NewAddressSpace(m *topology.Machine) *AddressSpace {
-	return &AddressSpace{machine: m}
+	return &AddressSpace{machine: m, gen: 1}
 }
 
 // Machine returns the machine this address space belongs to.
@@ -195,6 +229,7 @@ func (as *AddressSpace) Map(base, size uint64, pol Policy, huge bool) error {
 	as.regions = append(as.regions, nil)
 	copy(as.regions[idx+1:], as.regions[idx:])
 	as.regions[idx] = r
+	as.invalidate()
 	return nil
 }
 
@@ -205,11 +240,15 @@ func (as *AddressSpace) Unmap(base uint64) error {
 		return fmt.Errorf("memsim: no region mapped at %#x", base)
 	}
 	as.regions = append(as.regions[:idx], as.regions[idx+1:]...)
+	as.invalidate()
 	return nil
 }
 
 // find returns the region containing addr, or nil.
 func (as *AddressSpace) find(addr uint64) *region {
+	if r := as.findHit; r != nil && r.contains(addr) {
+		return r
+	}
 	idx := sort.Search(len(as.regions), func(i int) bool { return as.regions[i].base > addr })
 	if idx == 0 {
 		return nil
@@ -218,6 +257,7 @@ func (as *AddressSpace) find(addr uint64) *region {
 	if !r.contains(addr) {
 		return nil
 	}
+	as.findHit = r
 	return r
 }
 
@@ -239,6 +279,7 @@ func (as *AddressSpace) Touch(addr uint64, toucher topology.NodeID) topology.Nod
 	pi := r.pageIndex(addr)
 	if r.pol.Kind == FirstTouch && r.pageNodes[pi] == topology.InvalidNode {
 		r.pageNodes[pi] = toucher
+		as.gen++
 	}
 	return r.pageNodes[pi]
 }
@@ -263,25 +304,46 @@ func (as *AddressSpace) NodeOf(addr uint64) topology.NodeID {
 // where each accessor reads its local replica (if the accessor's node is in
 // the replica set).
 func (as *AddressSpace) HomeFor(addr uint64, accessor topology.NodeID) topology.NodeID {
+	slot := &as.homeMemo[homeMemoSlot(addr, accessor)]
+	if slot.gen == as.gen && slot.accessor == accessor && addr >= slot.start && addr < slot.end {
+		return slot.node
+	}
+	return as.homeForSlow(addr, accessor, slot)
+}
+
+// homeForSlow resolves a memo miss and refills the caller's slot. Split out
+// so the memo-hit path of HomeFor inlines into the engine's access loop.
+func (as *AddressSpace) homeForSlow(addr uint64, accessor topology.NodeID, slot *homeMemoEntry) topology.NodeID {
 	r := as.find(addr)
 	if r == nil {
 		return topology.InvalidNode
 	}
+	var node topology.NodeID
 	if r.pol.Kind == Replicate {
+		node = as.nodeSet(r.pol)[0]
 		for _, n := range as.nodeSet(r.pol) {
 			if n == accessor {
-				return accessor
+				node = accessor
+				break
 			}
 		}
-		return as.nodeSet(r.pol)[0]
+	} else {
+		pi := r.pageIndex(addr)
+		node = r.pageNodes[pi]
+		if node == topology.InvalidNode {
+			// Access to an untouched first-touch page allocates it on the
+			// accessor's node, exactly like the OS demand-zero path. No memo
+			// entry can be stale after this: an untouched page has never been
+			// resolved, so nothing referencing it was ever cached.
+			r.pageNodes[pi] = accessor
+			node = accessor
+		}
 	}
-	node := r.pageNodes[r.pageIndex(addr)]
-	if node == topology.InvalidNode {
-		// Access to an untouched first-touch page allocates it on the
-		// accessor's node, exactly like the OS demand-zero path.
-		r.pageNodes[r.pageIndex(addr)] = accessor
-		return accessor
-	}
+	start := r.base + uint64(r.pageIndex(addr))*r.pageSize
+	slot.gen = as.gen
+	slot.accessor = accessor
+	slot.start, slot.end = start, start+r.pageSize
+	slot.node = node
 	return node
 }
 

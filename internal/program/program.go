@@ -110,6 +110,7 @@ func (p *Program) Run(ecfg engine.Config) (*engine.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer e.Close()
 	return e.Run(p.Phases, p.Binding)
 }
 

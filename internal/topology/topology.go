@@ -86,6 +86,7 @@ type Machine struct {
 	cpuToCore []CoreID
 	cpuToNode []NodeID
 	links     map[Channel]Link
+	bwTable   []float64 // dense bandwidth indexed by ChannelIndex
 	lat       Latencies
 	lineSize  int
 	pageSize  int
@@ -187,6 +188,10 @@ func New(cfg Config) (*Machine, error) {
 			m.links[ch] = Link{Channel: ch, Bandwidth: bw}
 		}
 	}
+	m.bwTable = make([]float64, cfg.Nodes*cfg.Nodes)
+	for ch, l := range m.links {
+		m.bwTable[m.ChannelIndex(ch)] = l.Bandwidth
+	}
 	return m, nil
 }
 
@@ -249,6 +254,47 @@ func (m *Machine) Link(ch Channel) (Link, bool) {
 // channel does not exist on this machine.
 func (m *Machine) Bandwidth(ch Channel) float64 {
 	return m.links[ch].Bandwidth
+}
+
+// NumChannels returns the number of directed channels (Nodes², counting each
+// node's local memory-controller path). Dense per-channel state in hot loops
+// is sized by this and indexed by ChannelIndex.
+func (m *Machine) NumChannels() int { return m.nodes * m.nodes }
+
+// ChannelIndex maps a directed channel to its dense index src*Nodes+dst, the
+// layout every flat per-channel table in the simulator shares.
+func (m *Machine) ChannelIndex(ch Channel) int {
+	return int(ch.Src)*m.nodes + int(ch.Dst)
+}
+
+// ChannelAt is the inverse of ChannelIndex.
+func (m *Machine) ChannelAt(ci int) Channel {
+	return Channel{Src: NodeID(ci / m.nodes), Dst: NodeID(ci % m.nodes)}
+}
+
+// BandwidthTable returns a copy of the dense bandwidth table indexed by
+// ChannelIndex, in bytes/cycle. Hot loops fetch this once and index it
+// instead of paying the map lookup of Bandwidth per access.
+func (m *Machine) BandwidthTable() []float64 {
+	out := make([]float64, len(m.bwTable))
+	copy(out, m.bwTable)
+	return out
+}
+
+// CPUNodeTable returns a copy of the flat CPU→node table (indexed by CPUID).
+// Hot loops resolve topology once through this instead of calling NodeOfCPU
+// per access.
+func (m *Machine) CPUNodeTable() []NodeID {
+	out := make([]NodeID, len(m.cpuToNode))
+	copy(out, m.cpuToNode)
+	return out
+}
+
+// CPUCoreTable returns a copy of the flat CPU→core table (indexed by CPUID).
+func (m *Machine) CPUCoreTable() []CoreID {
+	out := make([]CoreID, len(m.cpuToCore))
+	copy(out, m.cpuToCore)
+	return out
 }
 
 // Channels enumerates every directed channel (including each node's local

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// drainFill mirrors drain but pulls accesses through the batch Fill path,
+// resetting across window boundaries with the same seed discipline.
+func drainFill(s Stream, limit, maxWindows, bufSize int) []Access {
+	var out []Access
+	windows := 0
+	s.Reset(1)
+	buf := make([]Access, bufSize)
+	for len(out) < limit && windows < maxWindows {
+		want := limit - len(out)
+		if want > bufSize {
+			want = bufSize
+		}
+		n := Fill(s, buf[:want])
+		out = append(out, buf[:n]...)
+		if n < want {
+			windows++
+			s.Reset(uint64(windows + 1))
+		}
+	}
+	return out
+}
+
+// TestFillMatchesNext drives two identical stream instances, one access at a
+// time via Next and batched via Fill, across several window boundaries, and
+// requires byte-identical sequences for every buffer size. This pins the
+// Filler contract: a native Fill must stop at the window boundary with the
+// same side effects as Next's ok=false return.
+func TestFillMatchesNext(t *testing.T) {
+	chaseAddrs := []uint64{0x1000, 0x1040, 0x1080, 0x10c0, 0x1100}
+	cases := []struct {
+		name string
+		mk   func() Stream
+	}{
+		{"seq-dense", func() Stream { return &Seq{Base: 4096, Len: 23 * 8, Elem: 8} }},
+		{"seq-stride-writes", func() Stream { return &Seq{Base: 4096, Len: 41 * 8, Elem: 8, Stride: 3, WriteEvery: 4} }},
+		{"rand", func() Stream { return &Rand{Base: 1 << 20, Len: 1 << 12, Elem: 8, WriteFrac: 0.3} }},
+		{"chase", func() Stream { return &Chase{Addrs: chaseAddrs} }},
+		{"gather", func() Stream {
+			return &Gather{IndexBase: 0, IndexLen: 17 * 4, IndexElem: 4, DataBase: 1 << 16, DataLen: 1 << 10, DataElem: 8}
+		}},
+		{"stencil", func() Stream { return &Stencil{InBase: 0, OutBase: 1 << 20, X: 3, Y: 2, Z: 2, Elem: 8} }},
+		{"wavefront", func() Stream { return &Wavefront{Base: 0, N: 5, Elem: 8, RowFirst: 1, RowCount: 2} }},
+		{"mix", func() Stream {
+			return &Mix{
+				Streams: []Stream{&Seq{Base: 0, Len: 9 * 8, Elem: 8}, &Chase{Addrs: chaseAddrs}},
+				Weights: []int{3, 1},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		want := drain(tc.mk(), 500, 6)
+		for _, bufSize := range []int{1, 3, 7, 64, 500} {
+			got := drainFill(tc.mk(), 500, 6, bufSize)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: Fill(buf=%d) sequence diverges from Next (len %d vs %d)",
+					tc.name, bufSize, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestFillShortCountMeansBoundary checks that a short Fill return corresponds
+// exactly to the position where Next would return ok=false, and that the
+// stream state after the short return matches Next's boundary side effects.
+func TestFillShortCountMeansBoundary(t *testing.T) {
+	s := &Seq{Base: 0, Len: 5 * 8, Elem: 8, WriteEvery: 2}
+	s.Reset(1)
+	buf := make([]Access, 8)
+	if n := Fill(s, buf); n != 5 {
+		t.Fatalf("first Fill returned %d, want 5 (window length)", n)
+	}
+	// After the boundary, the next pass must continue the write cadence:
+	// Next's boundary return rewinds pos but preserves count.
+	a, ok := s.Next()
+	if !ok {
+		t.Fatal("stream did not rewind at boundary")
+	}
+	// 5 accesses consumed, so access #6 has count=6, divisible by WriteEvery=2.
+	if !a.Write {
+		t.Error("write cadence reset at boundary: Fill must preserve count like Next")
+	}
+	if a.Addr != 0 {
+		t.Errorf("post-boundary address = %#x, want 0 (rewound)", a.Addr)
+	}
+}

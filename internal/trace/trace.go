@@ -39,6 +39,34 @@ type Stream interface {
 	Reset(seed uint64)
 }
 
+// Filler is an optional Stream extension: streams that can refill a whole
+// buffer in one call, skipping the per-access interface dispatch of Next.
+// Fill must be observably identical to calling Next len(buf) times: it stops
+// early (returning n < len(buf)) exactly when the n+1-th Next would have
+// returned ok=false, with the same internal side effects as that boundary
+// return.
+type Filler interface {
+	Fill(buf []Access) int
+}
+
+// Fill copies up to len(buf) accesses from s into buf, using the stream's
+// native batch path when it has one. It returns the number of accesses
+// produced; a short count means the stream hit its window boundary and the
+// caller should Reset it, exactly as for a Next that returned ok=false.
+func Fill(s Stream, buf []Access) int {
+	if f, ok := s.(Filler); ok {
+		return f.Fill(buf)
+	}
+	for i := range buf {
+		a, ok := s.Next()
+		if !ok {
+			return i
+		}
+		buf[i] = a
+	}
+	return len(buf)
+}
+
 // ThreadSpec describes one thread of one phase.
 type ThreadSpec struct {
 	Stream     Stream
@@ -91,6 +119,37 @@ func (s *Seq) Next() (Access, bool) {
 	return a, true
 }
 
+// Fill implements Filler with the loop body of Next inlined.
+func (s *Seq) Fill(buf []Access) int {
+	if s.Len == 0 || s.Elem == 0 {
+		return 0
+	}
+	stride := s.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	step := s.Elem * stride
+	// Stream state lives in locals for the duration of the batch; the write
+	// back below keeps the struct consistent at every return.
+	pos, count := s.pos, s.count
+	base, elem, limit, we := s.Base, s.Elem, s.Len, s.WriteEvery
+	for i := range buf {
+		if pos+elem > limit {
+			s.pos, s.count = 0, count
+			return i
+		}
+		a := Access{Addr: base + pos}
+		count++
+		if we > 0 && count%we == 0 {
+			a.Write = true
+		}
+		pos += step
+		buf[i] = a
+	}
+	s.pos, s.count = pos, count
+	return len(buf)
+}
+
 // Reset implements Stream.
 func (s *Seq) Reset(uint64) { s.pos, s.count = 0, 0 }
 
@@ -125,6 +184,29 @@ func (r *Rand) Next() (Access, bool) {
 	return a, true
 }
 
+// Fill implements Filler. Rand never hits a window boundary, so Fill always
+// returns len(buf); the rng call order matches Next exactly.
+func (r *Rand) Fill(buf []Access) int {
+	if r.rng == nil {
+		r.Reset(1)
+	}
+	if r.Len == 0 || r.Elem == 0 {
+		return 0
+	}
+	elems := r.Len / r.Elem
+	if elems == 0 {
+		return 0
+	}
+	for i := range buf {
+		a := Access{Addr: r.Base + uint64(r.rng.Int63n(int64(elems)))*r.Elem}
+		if r.WriteFrac > 0 && r.rng.Float64() < r.WriteFrac {
+			a.Write = true
+		}
+		buf[i] = a
+	}
+	return len(buf)
+}
+
 // Reset implements Stream.
 func (r *Rand) Reset(seed uint64) { r.rng = rand.New(rand.NewSource(int64(seed) ^ 0x9e3779b9)) }
 
@@ -154,6 +236,25 @@ func (c *Chase) Next() (Access, bool) {
 	a := Access{Addr: c.Addrs[c.order[c.pos]]}
 	c.pos++
 	return a, true
+}
+
+// Fill implements Filler.
+func (c *Chase) Fill(buf []Access) int {
+	if len(c.Addrs) == 0 {
+		return 0
+	}
+	if c.order == nil {
+		c.Reset(1)
+	}
+	for i := range buf {
+		if c.pos >= len(c.order) {
+			c.pos = 0
+			return i
+		}
+		buf[i] = Access{Addr: c.Addrs[c.order[c.pos]]}
+		c.pos++
+	}
+	return len(buf)
 }
 
 // Reset implements Stream.

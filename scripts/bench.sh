@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# bench.sh — run the engine-critical benchmarks and snapshot the results.
+#
+# Usage:
+#   scripts/bench.sh [output.json]        # default output: BENCH_engine.json
+#
+# Environment:
+#   BENCHTIME         go test -benchtime value (default 2s; CI uses 1x)
+#   MAX_ENGINE_ALLOCS when set, fail if BenchmarkEngineContendedRun exceeds
+#                     this many allocs/op (the allocation-regression gate:
+#                     allocations must stay O(1) per window, not per access)
+#
+# The four benchmarks tracked here cover the simulation hot path end to end:
+# a full contended engine run, the batch evaluation sweep built on it, the
+# raw cache-hierarchy access loop, and trace generation. The committed
+# BENCH_engine.json records the trajectory; the "baseline" block holds the
+# pre-fast-path numbers the 2x acceptance bar is measured against.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_engine.json}
+benchtime=${BENCHTIME:-2s}
+pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration)$'
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$raw"
+
+awk -v out="$out" '
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    names[++n] = name
+    nsv[name] = ns; bv[name] = bytes; av[name] = allocs
+}
+END {
+    printf "{\n" > out
+    printf "  \"baseline\": {\n" >> out
+    printf "    \"comment\": \"pre-fast-path numbers (map-keyed accounting, per-access allocation); 2.10GHz Xeon\",\n" >> out
+    printf "    \"BenchmarkEngineContendedRun\": {\"ns_per_op\": 17740826, \"bytes_per_op\": 24712849, \"allocs_per_op\": 1364},\n" >> out
+    printf "    \"BenchmarkCacheHierarchyAccess\": {\"ns_per_op\": 108.3},\n" >> out
+    printf "    \"BenchmarkStreamGeneration\": {\"ns_per_op\": 2.423}\n" >> out
+    printf "  },\n" >> out
+    printf "  \"benchmarks\": {\n" >> out
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        printf "    \"%s\": {\"ns_per_op\": %s", name, nsv[name] >> out
+        if (bv[name] != "") printf ", \"bytes_per_op\": %s", bv[name] >> out
+        if (av[name] != "") printf ", \"allocs_per_op\": %s", av[name] >> out
+        printf "}%s\n", (i < n ? "," : "") >> out
+    }
+    printf "  }\n}\n" >> out
+}
+' "$raw"
+
+echo "wrote $out"
+
+if [ -n "${MAX_ENGINE_ALLOCS:-}" ]; then
+    allocs=$(awk '/^BenchmarkEngineContendedRun/ {
+        for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+    }' "$raw" | head -1)
+    if [ -z "$allocs" ]; then
+        echo "allocation gate: BenchmarkEngineContendedRun not found in output" >&2
+        exit 1
+    fi
+    if [ "$allocs" -gt "$MAX_ENGINE_ALLOCS" ]; then
+        echo "allocation gate: BenchmarkEngineContendedRun at $allocs allocs/op (limit $MAX_ENGINE_ALLOCS)" >&2
+        exit 1
+    fi
+    echo "allocation gate: $allocs allocs/op <= $MAX_ENGINE_ALLOCS"
+fi
