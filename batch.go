@@ -106,7 +106,7 @@ func (t *Tool) batch(bench string, cases []Case, evaluate bool) ([]*Report, erro
 func (t *Tool) AnalyzeTraces(tds []*TraceData) ([]*Report, error) {
 	reports := make([]*Report, len(tds))
 	errs := make([]error, len(tds))
-	core.ParallelFor(len(tds), func(i int) {
+	core.ParallelForLabeled(len(tds), "analyze.traces", func(i int) {
 		reports[i], errs[i] = t.AnalyzeTrace(tds[i])
 	})
 	var be BatchError

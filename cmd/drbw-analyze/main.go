@@ -7,13 +7,20 @@
 //
 //	drbw-analyze -samples run.samples.csv -objects run.objects.csv
 //	             [-model model.json] [-quick]
+//	             [-http addr] [-metrics] [-log level]
 //
 // Both flags accept comma-separated lists (paired positionally); multiple
-// recordings are analyzed in parallel via Tool.AnalyzeTraces, and a
-// recording that fails to analyze does not abort the others.
+// recordings are analyzed in parallel via Tool.AnalyzeTraces with per-trace
+// progress on stderr, and a recording that fails to analyze does not abort
+// the others.
 //
 // Without -model a classifier is trained first; with it, the saved model
 // from drbw-train -o is used and no simulation runs at all.
+//
+// Observability: -http serves /metrics (JSON registry snapshot),
+// /debug/vars (expvar) and /debug/pprof on the given address for the
+// lifetime of the run; -metrics appends the final snapshot to stdout;
+// -log sets the structured-log level (debug, info, warn, error).
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"drbw"
+	"drbw/internal/obs"
 )
 
 func main() {
@@ -32,7 +40,23 @@ func main() {
 	objects := flag.String("objects", "", "allocation-table CSV, or a comma-separated list (required)")
 	model := flag.String("model", "", "saved classifier from drbw-train -o")
 	quick := flag.Bool("quick", false, "quick training when no -model is given")
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address")
+	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
+	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	obs.SetProgressWriter(os.Stderr)
+	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
+		log.Fatal(err)
+	}
+	if *httpAddr != "" {
+		srv, err := obs.StartServer(*httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
+	}
 
 	sampleFiles := splitList(*samples)
 	objectFiles := splitList(*objects)
@@ -87,10 +111,23 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if *metrics {
+		printMetrics()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// printMetrics appends the registry snapshot to the tool output.
+func printMetrics() {
+	b, err := obs.SnapshotJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("== metrics ==\n%s\n", b)
 }
 
 // splitList splits a comma-separated flag value, dropping empty entries.

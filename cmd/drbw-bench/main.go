@@ -7,18 +7,22 @@
 //	            tableV|tableVI|tableVII|fig4|fig5|fig6|fig7|fig8|sp|
 //	            blackscholes|llc|baselines|ablations]
 //	           [-cpuprofile f] [-memprofile f] [-trace f]
+//	           [-http addr] [-metrics] [-log level]
 //
 // -quick reduces the training set, simulation window and sweeps (roughly
 // 10x faster, same qualitative shapes). The full run regenerates the
 // 512-case Table V sweep and takes several minutes; the sweep fans out
 // over GOMAXPROCS workers through the detector's batch API, with seeds
-// fixed per case so the tables match a serial run exactly.
+// fixed per case so the tables match a serial run exactly. Sweep progress
+// (N/M cases, elapsed, ETA) reports on stderr.
 //
 // The profiling flags capture the run for `go tool pprof` / `go tool trace`:
 // -cpuprofile and -trace cover everything between flag parsing and exit,
 // -memprofile writes an allocation profile at exit. They exist so hot-path
 // regressions in the simulator can be diagnosed on the real workload rather
-// than microbenchmarks.
+// than microbenchmarks. For long sweeps, -http serves the same profiles
+// live (/debug/pprof) next to /metrics and /debug/vars, and -metrics
+// appends the final registry snapshot to the output.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"drbw/internal/experiments"
+	"drbw/internal/obs"
 )
 
 func main() {
@@ -48,7 +53,25 @@ func mainImpl() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address")
+	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
+	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	obs.SetProgressWriter(os.Stderr)
+	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
+		log.Print(err)
+		return 2
+	}
+	if *httpAddr != "" {
+		srv, err := obs.StartServer(*httpAddr)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -93,7 +116,15 @@ func mainImpl() int {
 
 	// The work runs through run() so the profiling defers above flush even
 	// on failure (log.Fatal would bypass them).
-	if err := run(*quick, *exp, *seed); err != nil {
+	err := run(*quick, *exp, *seed)
+	if *metrics {
+		if b, merr := obs.SnapshotJSON(); merr == nil {
+			fmt.Printf("== metrics ==\n%s\n", b)
+		} else {
+			fmt.Fprintln(os.Stderr, merr)
+		}
+	}
+	if err != nil {
 		log.Print(err)
 		return 1
 	}

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	drbw-train [-quick] [-seed n] [-o model.json]
+//	drbw-train [-quick] [-seed n] [-o model.json] [-metrics] [-log level]
+//
+// Training-collection progress (N/M runs, elapsed, ETA) reports on stderr;
+// -metrics appends a JSON metrics snapshot to the output.
 package main
 
 import (
@@ -17,13 +20,21 @@ import (
 
 	"drbw"
 	"drbw/internal/experiments"
+	"drbw/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "quarter training set, reduced window")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	out := flag.String("o", "", "save the trained classifier to this path")
+	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
+	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	obs.SetProgressWriter(os.Stderr)
+	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "collecting training runs (quick=%v)...\n", *quick)
@@ -54,5 +65,13 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "model saved to %s\n", *out)
+	}
+
+	if *metrics {
+		b, err := obs.SnapshotJSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== metrics ==\n%s\n", b)
 	}
 }

@@ -37,8 +37,12 @@ func (d *Detector) EvaluateAll(m *topology.Machine, jobs []BatchJob) []BatchResu
 }
 
 func (d *Detector) batch(m *topology.Machine, jobs []BatchJob, evaluate bool) []BatchResult {
+	label := "detect.sweep"
+	if evaluate {
+		label = "evaluate.sweep"
+	}
 	out := make([]BatchResult, len(jobs))
-	ParallelFor(len(jobs), func(i int) {
+	ParallelForLabeled(len(jobs), label, func(i int) {
 		j := jobs[i]
 		var dn *Detection
 		var err error

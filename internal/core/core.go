@@ -165,7 +165,7 @@ func ParallelFor(n int, fn func(i int)) {
 func CollectTraining(m *topology.Machine, ecfg engine.Config, set []micro.Instance) (*TrainingData, error) {
 	runs := make([]TrainingRun, len(set))
 	errs := make([]error, len(set))
-	ParallelFor(len(set), func(i int) {
+	ParallelForLabeled(len(set), "train.collect", func(i int) {
 		runs[i], errs[i] = collectOne(m, ecfg, set[i])
 	})
 
@@ -202,6 +202,7 @@ func collectOne(m *topology.Machine, ecfg engine.Config, inst micro.Instance) (T
 		return TrainingRun{}, err
 	}
 	samples := col.Samples()
+	mergeCollectorStats(col)
 	ch := busiestRemoteChannel(m, samples)
 	vec := features.Extract(samples, ch, col.Weight())
 
@@ -332,14 +333,18 @@ func (d *Detector) Detect(b program.Builder, m *topology.Machine, cfg program.Co
 		Weight:     col.Weight(),
 		builder:    b,
 	}
+	mergeCollectorStats(col)
 	for ch, vec := range features.ChannelVectors(m, dn.Samples, dn.Weight, d.MinSamples) {
 		v := vec
-		if d.Tree.Predict(v[:]) == int(features.RMC) {
+		label := features.Label(d.Tree.Predict(v[:]))
+		CountPrediction(label)
+		if label == features.RMC {
 			dn.Detected = true
 			dn.Contended = append(dn.Contended, ch)
 		}
 	}
 	sortChannels(dn.Contended)
+	CountDetectCase(dn.Detected)
 	return dn, nil
 }
 

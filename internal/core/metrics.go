@@ -1,0 +1,83 @@
+package core
+
+import (
+	"time"
+
+	"drbw/internal/features"
+	"drbw/internal/obs"
+	"drbw/internal/pebs"
+)
+
+// Pipeline observability. Worker-pool state is visible as gauges
+// (pool.queue_depth, pool.inflight), every completed case lands in a
+// per-pool latency histogram, sampler kept/dropped totals are merged after
+// each profiled run, and the classifier's per-label verdict counts are
+// tracked at prediction time.
+var (
+	mPoolQueue    = obs.Default.Gauge("pool.queue_depth")
+	mPoolInflight = obs.Default.Gauge("pool.inflight")
+
+	mSamplesKept    = obs.Default.Counter("pebs.samples.kept")
+	mSamplesDropped = obs.Default.Counter("pebs.samples.dropped_threshold")
+	mSamplesEvicted = obs.Default.Counter("pebs.samples.evicted")
+	mWeightLast     = obs.Default.Gauge("pebs.weight.last")
+
+	mPredictGood = obs.Default.Counter("dtree.predict." + features.Good.String())
+	mPredictRMC  = obs.Default.Counter("dtree.predict." + features.RMC.String())
+	mDetectCases = obs.Default.Counter("detect.cases")
+	mDetectHits  = obs.Default.Counter("detect.contended_cases")
+)
+
+// mergeCollectorStats publishes one run's sampler accounting.
+func mergeCollectorStats(col *pebs.Collector) {
+	st := col.Stats()
+	mSamplesKept.Add(int64(st.Kept))
+	mSamplesDropped.Add(int64(st.DroppedThreshold))
+	mSamplesEvicted.Add(int64(st.Evicted))
+	mWeightLast.Set(st.Weight)
+}
+
+// CountPrediction tracks one channel classification. Exported so the
+// offline trace-analysis path (package drbw's AnalyzeTrace) shares the
+// same dtree.predict.* counters as the live detector.
+func CountPrediction(label features.Label) {
+	if label == features.RMC {
+		mPredictRMC.Inc()
+	} else {
+		mPredictGood.Inc()
+	}
+}
+
+// CountDetectCase tracks one detector invocation — live or offline — and
+// whether it flagged contention.
+func CountDetectCase(contended bool) {
+	mDetectCases.Inc()
+	if contended {
+		mDetectHits.Inc()
+	}
+}
+
+// ParallelForLabeled is ParallelFor wrapped in a named span with live pool
+// metrics and per-case progress: the queue-depth and in-flight gauges
+// track the pool in real time (visible on /metrics during long sweeps),
+// "pool.<label>.case_seconds" collects the per-case latency distribution,
+// and the span's progress line (N/M done, elapsed, ETA) goes to the
+// configured progress writer.
+func ParallelForLabeled(n int, label string, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	prog := obs.StartProgress(label, n)
+	hist := obs.Default.Histogram("pool." + label + ".case_seconds")
+	mPoolQueue.Add(float64(n))
+	ParallelFor(n, func(i int) {
+		mPoolQueue.Add(-1)
+		mPoolInflight.Add(1)
+		start := time.Now()
+		fn(i)
+		hist.Observe(time.Since(start).Seconds())
+		mPoolInflight.Add(-1)
+		prog.Done()
+	})
+	prog.Finish()
+}

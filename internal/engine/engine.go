@@ -227,6 +227,10 @@ type Engine struct {
 	dstLoc  []int              // ci -> index of {Dst,Dst}, the target controller
 	nodeOf  []topology.NodeID  // cpu -> node
 	coreOf  []topology.CoreID  // cpu -> core
+
+	// gauges are the cached per-channel utilization gauges (metrics.go),
+	// published at phase boundaries.
+	gauges *chanGauges
 }
 
 // New builds an engine. hcfg selects the cache geometry (zero value =
@@ -253,6 +257,7 @@ func New(m *topology.Machine, as *memsim.AddressSpace, hcfg cache.Config, cfg Co
 		e.lfbLat[ci] = e.lfbBaseLatency(ch)
 		e.dstLoc[ci] = int(ch.Dst)*e.nn + int(ch.Dst)
 	}
+	e.gauges = channelGauges(e.nn)
 	return e, nil
 }
 
@@ -367,12 +372,13 @@ func (e *Engine) Run(phases []trace.Phase, bind Binding) (*Result, error) {
 	}
 	res := &Result{}
 	now := 0.0
+	var st runStats
 	rng := rand.New(rand.NewSource(int64(e.cfg.Seed) ^ 0x51ed2701))
 	for pi, ph := range phases {
 		if len(ph.Threads) != len(bind) {
 			return nil, fmt.Errorf("engine: phase %q has %d threads, binding has %d", ph.Name, len(ph.Threads), len(bind))
 		}
-		pr, err := e.runPhase(ph, bind, now, rng, uint64(pi))
+		pr, err := e.runPhase(ph, bind, now, rng, uint64(pi), &st)
 		if err != nil {
 			return nil, fmt.Errorf("engine: phase %q: %w", ph.Name, err)
 		}
@@ -380,10 +386,13 @@ func (e *Engine) Run(phases []trace.Phase, bind Binding) (*Result, error) {
 		res.Phases = append(res.Phases, *pr)
 	}
 	res.Cycles = now
+	if !e.cfg.Reference {
+		st.merge()
+	}
 	return res, nil
 }
 
-func (e *Engine) runPhase(ph trace.Phase, bind Binding, start float64, rng *rand.Rand, phaseIdx uint64) (*PhaseResult, error) {
+func (e *Engine) runPhase(ph trace.Phase, bind Binding, start float64, rng *rand.Rand, phaseIdx uint64, st *runStats) (*PhaseResult, error) {
 	if e.cfg.Reference {
 		profiles, err := e.windowRef(ph, bind, phaseIdx)
 		if err != nil {
@@ -391,11 +400,12 @@ func (e *Engine) runPhase(ph trace.Phase, bind Binding, start float64, rng *rand
 		}
 		return e.integrateRef(ph, bind, profiles, start, rng)
 	}
-	profiles, err := e.window(ph, bind, phaseIdx)
+	st.phases++
+	profiles, err := e.window(ph, bind, phaseIdx, st)
 	if err != nil {
 		return nil, err
 	}
-	return e.integrate(ph, bind, profiles, start, rng)
+	return e.integrate(ph, bind, profiles, start, rng, st)
 }
 
 // streamBatch is how many accesses each thread's stream refill pulls at once;
@@ -465,7 +475,7 @@ func (t *winThread) refill(seed uint64, step int) error {
 // window drives every thread's stream through the caches and builds
 // profiles. Per-channel accounting is dense (indexed by ci = src*nn+dst) in
 // flat integer tables; map/struct forms exist only at phase boundaries.
-func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64) ([]*profile, error) {
+func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64, st *runStats) ([]*profile, error) {
 	e.hier.Flush()
 	n := len(bind)
 	nn, nch := e.nn, e.nch
@@ -568,11 +578,16 @@ func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64) ([]*profi
 		}
 	}
 
+	st.warmup += uint64(warmup) * uint64(len(act))
 	for ti := range act {
 		t := &act[ti]
 		t.prof.reservoir = t.res
 		if t.total == 0 {
 			continue
+		}
+		st.accesses += uint64(t.total)
+		for l := 0; l < 5; l++ {
+			st.level[l] += uint64(t.level[l])
 		}
 		p := t.prof
 		tf := float64(t.total)
@@ -670,7 +685,7 @@ func (e *Engine) pairInflationCi(ci int, util []float64) float64 {
 }
 
 // integrate advances the phase over time epochs until every thread finishes.
-func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, start float64, rng *rand.Rand) (*PhaseResult, error) {
+func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, start float64, rng *rand.Rand, st *runStats) (*PhaseResult, error) {
 	n := len(bind)
 	lat := e.machine.Latencies()
 	remaining := make([]float64, n)
@@ -863,6 +878,7 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 					sampleAcc[i] -= period
 					rec := p.reservoir[rng.Intn(len(p.reservoir))]
 					e.emitSample(i, bind[i], nodes[i], rec, start+now+rng.Float64()*dt, util, rng)
+					st.samples++
 				}
 			}
 		}
@@ -877,6 +893,7 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 			avgUtilAcc[ci] += u * dt // normalized at the end
 		}
 		now += dt
+		st.epochs++
 	}
 
 	pr.Cycles = 0.0
@@ -900,6 +917,9 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 		if pr.Cycles > 0 {
 			s.AvgUtil /= pr.Cycles
 		}
+		// Phase-boundary utilization snapshot for the metrics endpoints.
+		e.gauges.peak[ci].Max(s.PeakUtil)
+		e.gauges.avg[ci].Set(s.AvgUtil)
 		pr.Channels[e.chans[ci]] = s
 	}
 	if dramAccAcc > 0 {

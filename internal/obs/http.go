@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration (expvar panics on duplicate
+// names).
+var publishOnce sync.Once
+
+// PublishExpvar publishes the default registry's snapshot under the expvar
+// name "drbw", alongside the standard "memstats"/"cmdline" vars, so any
+// expvar scraper (or the stock /debug/vars handler) sees the pipeline
+// metrics. Safe to call repeatedly.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("drbw", expvar.Func(func() any { return Default.Snapshot() }))
+	})
+}
+
+// Handler returns the debug mux served by StartServer:
+//
+//	/metrics          JSON snapshot of the default registry
+//	/healthz          liveness probe
+//	/debug/vars       expvar (includes the "drbw" snapshot)
+//	/debug/pprof/...  the standard pprof handlers (profile, heap, trace, ...)
+func Handler() http.Handler {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		b, err := SnapshotJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr (e.g. "localhost:6060" or ":0") and serves
+// Handler in a background goroutine. The caller owns the returned server
+// and should Close it on shutdown; long batch runs leave it up so
+// /metrics and /debug/pprof stay reachable for the whole sweep.
+func StartServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler()}}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Logger().Error("obs: debug server", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	Logger().Info("obs: debug server listening", "addr", ln.Addr().String())
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

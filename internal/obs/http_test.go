@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDebugServer boots the debug server on an ephemeral port and checks
+// every endpoint the CLIs advertise: /healthz, /metrics (valid JSON with
+// the registered metrics), /debug/vars (expvar including the "drbw" var)
+// and the pprof index.
+func TestDebugServer(t *testing.T) {
+	Default.Counter("test.http.counter").Add(5)
+	srv, err := StartServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if body := get("/healthz"); !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %q", body)
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics")), &snap); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if snap.Counters["test.http.counter"] < 5 {
+		t.Fatalf("metrics missing test counter: %v", snap.Counters)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("expvar not valid JSON: %v", err)
+	}
+	if _, ok := vars["drbw"]; !ok {
+		t.Fatal("expvar missing the published drbw snapshot")
+	}
+
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index looks wrong: %.120q", body)
+	}
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent hammers one striped counter from many goroutines;
+// the fold must account for every increment (run under -race in CI).
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.counter")
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	// The handle is stable: a second lookup returns the same counter.
+	if r.Counter("test.counter") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+}
+
+// TestHistogramConcurrent checks that no observation is lost and the
+// aggregates are exact under concurrency.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.hist")
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w+1) * 1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	want := 0.0
+	for w := 1; w <= workers; w++ {
+		want += float64(w) * 1e-4 * per
+	}
+	if got := h.Sum(); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	s := h.snapshot()
+	if s.Min != 1e-4 || s.Max != 8e-4 {
+		t.Fatalf("min/max = %g/%g, want 1e-4/8e-4", s.Min, s.Max)
+	}
+	var bucketTotal uint64
+	for _, b := range s.Buckets {
+		bucketTotal += b.N
+	}
+	if bucketTotal != workers*per {
+		t.Fatalf("bucket total = %d, want %d", bucketTotal, workers*per)
+	}
+	// Quantiles must be ordered and inside the observed range's bucket
+	// bounds (the estimator interpolates within a bucket).
+	if !(s.P50 <= s.P90 && s.P90 <= s.P99) {
+		t.Fatalf("quantiles out of order: p50=%g p90=%g p99=%g", s.P50, s.P90, s.P99)
+	}
+	if s.P99 > histLE(histBuckets-1) {
+		t.Fatalf("p99 = %g beyond bucket range", s.P99)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test.gauge")
+	g.Set(2.5)
+	if v := g.Value(); v != 2.5 {
+		t.Fatalf("Set/Value = %g", v)
+	}
+	g.Add(-1.5)
+	if v := g.Value(); v != 1.0 {
+		t.Fatalf("Add = %g", v)
+	}
+	g.Max(0.5) // lower: no-op
+	g.Max(3.0)
+	if v := g.Value(); v != 3.0 {
+		t.Fatalf("Max = %g", v)
+	}
+}
+
+// TestGaugeAddConcurrent exercises the CAS loop: balanced +1/-1 pairs must
+// return the gauge to zero.
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test.gauge.add")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge = %g, want 0", v)
+	}
+}
+
+// TestSnapshotDeterminism requires two marshals of the same state to be
+// byte-identical — the /metrics contract.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.counter").Add(7)
+	r.Counter("a.counter").Add(3)
+	r.Gauge("z.gauge").Set(0.25)
+	h := r.Histogram("m.hist")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	one, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, two) {
+		t.Fatalf("snapshots differ:\n%s\n%s", one, two)
+	}
+	names := r.Names()
+	want := []string{"a.counter", "b.counter", "m.hist", "z.gauge"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	r := NewRegistry()
+	s := r.StartSpan("phase")
+	time.Sleep(time.Millisecond)
+	d := s.End()
+	if d <= 0 {
+		t.Fatalf("duration = %v", d)
+	}
+	h := r.Histogram("span.phase.seconds")
+	if h.Count() != 1 {
+		t.Fatalf("span histogram count = %d", h.Count())
+	}
+	if h.Sum() < 0.001 {
+		t.Fatalf("span histogram sum = %g, want >= 1ms", h.Sum())
+	}
+	if r.Counter("span.phase.count").Value() != 1 {
+		t.Fatal("span counter not bumped")
+	}
+}
+
+// TestProgress checks the N/M / elapsed / ETA reporting and that the
+// default (no writer) stays silent.
+func TestProgress(t *testing.T) {
+	var buf bytes.Buffer
+	SetProgressWriter(&buf)
+	t.Cleanup(func() { SetProgressWriter(nil) })
+
+	p := StartProgress("test.batch", 3)
+	p.Done()
+	p.Done()
+	p.Done()
+	p.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "test.batch: 3/3 (100%)") {
+		t.Fatalf("missing final progress line in %q", out)
+	}
+	if !strings.Contains(out, "elapsed") {
+		t.Fatalf("missing elapsed in %q", out)
+	}
+
+	SetProgressWriter(nil)
+	buf.Reset()
+	p = StartProgress("test.quiet", 1)
+	p.Done()
+	p.Finish()
+	if buf.Len() != 0 {
+		t.Fatalf("progress wrote %q with no writer configured", buf.String())
+	}
+}
+
+// TestProgressConcurrent drives Done from many goroutines; every line must
+// be well-formed and the final 64/64 line must appear.
+func TestProgressConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := lockedWriter{mu: &mu, w: &buf}
+	SetProgressWriter(w)
+	t.Cleanup(func() { SetProgressWriter(nil) })
+
+	const n = 64
+	p := StartProgress("test.parallel", n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Done()
+		}()
+	}
+	wg.Wait()
+	p.Finish()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "test.parallel: 64/64") {
+		t.Fatalf("missing final line in %q", out)
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestParseLevel(t *testing.T) {
+	if _, err := ParseLevel("nope"); err == nil {
+		t.Fatal("expected error for unknown level")
+	}
+	for _, s := range []string{"debug", "info", "warn", "error", "", "WARN"} {
+		if _, err := ParseLevel(s); err != nil {
+			t.Fatalf("ParseLevel(%q): %v", s, err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span times one named pipeline phase. Ending a span records its duration
+// into the histogram "span.<name>.seconds" and bumps the counter
+// "span.<name>.count", so repeated phases build a latency distribution;
+// the end is also logged at debug level.
+type Span struct {
+	name  string
+	reg   *Registry
+	start time.Time
+}
+
+// StartSpan opens a span on the registry.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{name: name, reg: r, start: time.Now()}
+}
+
+// StartSpan opens a span on the default registry.
+func StartSpan(name string) *Span { return Default.StartSpan(name) }
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
+
+// Elapsed returns the time since the span started.
+func (s *Span) Elapsed() time.Duration { return time.Since(s.start) }
+
+// End records the span and returns its duration. End is idempotent in
+// effect only if called once; call it exactly once per span.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	s.reg.Histogram("span." + s.name + ".seconds").Observe(d.Seconds())
+	s.reg.Counter("span." + s.name + ".count").Inc()
+	Logger().Debug("span end", "span", s.name, "seconds", d.Seconds())
+	return d
+}
+
+// progressOut is where progress lines go. Nil disables progress output;
+// metrics and spans are recorded regardless.
+var progressOut atomic.Pointer[io.Writer]
+
+// SetProgressWriter directs progress lines (N/M done, elapsed, ETA) to w.
+// Passing nil disables them (the default, so library use and tests stay
+// quiet). CLIs point this at stderr.
+func SetProgressWriter(w io.Writer) {
+	if w == nil {
+		progressOut.Store(nil)
+		return
+	}
+	progressOut.Store(&w)
+}
+
+// progressEvery throttles intermediate progress lines.
+const progressEvery = 250 * time.Millisecond
+
+// Progress tracks a batch of identical work items through a span and
+// reports N/M, elapsed time and a linear-extrapolation ETA to the
+// configured progress writer. Done may be called from many workers.
+type Progress struct {
+	span  *Span
+	total int64
+	done  atomic.Int64
+
+	mu       sync.Mutex
+	lastEmit time.Time
+}
+
+// StartProgress opens a span named name over total work items.
+func StartProgress(name string, total int) *Progress {
+	return &Progress{span: StartSpan(name), total: int64(total)}
+}
+
+// Done marks one item complete, emitting a throttled progress line.
+func (p *Progress) Done() {
+	n := p.done.Add(1)
+	w := progressOut.Load()
+	if w == nil {
+		return
+	}
+	final := n >= p.total
+	p.mu.Lock()
+	now := time.Now()
+	if !final && now.Sub(p.lastEmit) < progressEvery {
+		p.mu.Unlock()
+		return
+	}
+	p.lastEmit = now
+	p.mu.Unlock()
+	p.emit(*w, n)
+}
+
+// Finish ends the span and returns the total duration. It emits a final
+// line if the work was cut short of total.
+func (p *Progress) Finish() time.Duration {
+	if w := progressOut.Load(); w != nil {
+		if n := p.done.Load(); n < p.total {
+			p.emit(*w, n)
+		}
+	}
+	return p.span.End()
+}
+
+// emit writes one progress line: name, N/M, percent, elapsed, ETA.
+func (p *Progress) emit(w io.Writer, n int64) {
+	elapsed := p.span.Elapsed()
+	line := fmt.Sprintf("%s: %d/%d (%.0f%%) elapsed %s",
+		p.span.Name(), n, p.total, 100*float64(n)/float64(p.total), roundDur(elapsed))
+	if n > 0 && n < p.total {
+		eta := time.Duration(float64(elapsed) / float64(n) * float64(p.total-n))
+		line += " eta " + roundDur(eta).String()
+	}
+	fmt.Fprintln(w, line)
+}
+
+// roundDur trims durations to a readable precision.
+func roundDur(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second)
+	case d >= time.Second:
+		return d.Round(100 * time.Millisecond)
+	default:
+		return d.Round(time.Millisecond)
+	}
+}

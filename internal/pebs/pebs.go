@@ -119,7 +119,11 @@ type Collector struct {
 	cfg     Config
 	samples []Sample
 	total   int
-	rng     *rand.Rand
+	// droppedThreshold counts samples rejected by the latency threshold;
+	// with total and len(samples) it gives the full kept/dropped breakdown
+	// the observability layer reports (Stats).
+	droppedThreshold int
+	rng              *rand.Rand
 }
 
 // NewCollector returns a collector with cfg (zero fields defaulted).
@@ -152,6 +156,7 @@ func (c *Collector) OverheadCycles() float64 { return c.cfg.OverheadCycles }
 // bound.
 func (c *Collector) Add(s Sample) {
 	if s.Latency < c.cfg.LatencyThreshold {
+		c.droppedThreshold++
 		return
 	}
 	c.total++
@@ -190,6 +195,35 @@ func (c *Collector) Weight() float64 {
 func (c *Collector) Reset() {
 	c.samples = c.samples[:0]
 	c.total = 0
+	c.droppedThreshold = 0
+}
+
+// Stats is the collector's kept/dropped accounting, reported per run by
+// the observability layer: sampler trustworthiness at scale requires the
+// drop rates to be continuously visible.
+type Stats struct {
+	// Kept is the number of samples currently retained.
+	Kept int
+	// DroppedThreshold counts samples rejected by the latency threshold.
+	DroppedThreshold int
+	// Evicted counts samples that passed the threshold but were displaced
+	// by the reservoir bound (Total - Kept).
+	Evicted int
+	// Total is every sample that passed the threshold, evicted or not.
+	Total int
+	// Weight is the kept→true scale factor (Total/Kept).
+	Weight float64
+}
+
+// Stats returns the collector's current accounting.
+func (c *Collector) Stats() Stats {
+	return Stats{
+		Kept:             len(c.samples),
+		DroppedThreshold: c.droppedThreshold,
+		Evicted:          c.total - len(c.samples),
+		Total:            c.total,
+		Weight:           c.Weight(),
+	}
 }
 
 // Resolve fills SrcNode and HomeNode on a raw hardware sample the way the

@@ -8,6 +8,7 @@ import (
 
 	"drbw/internal/alloc"
 	"drbw/internal/cache"
+	"drbw/internal/core"
 	"drbw/internal/diagnose"
 	"drbw/internal/features"
 	"drbw/internal/pebs"
@@ -249,12 +250,15 @@ func (t *Tool) AnalyzeTrace(td *TraceData) (*Report, error) {
 	var contended []topology.Channel
 	for ch, vec := range features.ChannelVectors(t.machine, samples, weight, t.detector.MinSamples) {
 		v := vec
-		if t.tree.Predict(v[:]) == int(features.RMC) {
+		label := features.Label(t.tree.Predict(v[:]))
+		core.CountPrediction(label)
+		if label == features.RMC {
 			rep.Detected = true
 			contended = append(contended, ch)
 		}
 	}
 	sortChannelsStable(contended)
+	core.CountDetectCase(rep.Detected)
 	for _, ch := range contended {
 		rep.Channels = append(rep.Channels, ch.String())
 	}
