@@ -2,9 +2,12 @@ package drbw_test
 
 import (
 	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"drbw"
+	"drbw/internal/core"
 )
 
 // TestAnalyzeAllMatchesSerial checks the determinism guarantee: batch
@@ -100,5 +103,46 @@ func TestAnalyzeAllUnknownBenchmark(t *testing.T) {
 	tl := sharedTool(t)
 	if _, err := tl.AnalyzeAll("nope", []drbw.Case{{Threads: 16, Nodes: 2}}); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestBatchParallelNotSlower is the batch-scaling smoke test: with the
+// worker pool enabled, EvaluateAll over several cases must not be
+// meaningfully slower than the same sweep forced serial. On a multi-core
+// host it should be a large speedup (the bench gate checks the ratio); here
+// we only pin that parallel dispatch costs nothing, so the test stays
+// meaningful on one core too.
+func TestBatchParallelNotSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	tl := sharedTool(t)
+	cases := drbw.StandardCases("native")[:4]
+	for i := range cases {
+		cases[i].Seed = uint64(500 + i*13)
+	}
+	sweep := func(workers int) time.Duration {
+		core.SetPoolWorkers(workers)
+		best := time.Duration(1<<63 - 1)
+		for trial := 0; trial < 2; trial++ {
+			start := time.Now()
+			if _, err := tl.EvaluateAll("Streamcluster", cases); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	defer core.SetPoolWorkers(0)
+	serial := sweep(1)
+	parallel := sweep(0)
+	t.Logf("serial %v, parallel %v (GOMAXPROCS=%d)", serial, parallel, runtime.GOMAXPROCS(0))
+	// 1.5x tolerance absorbs scheduler noise on single-core CI boxes, while
+	// still catching a pool that serializes behind a lock (which showed up
+	// as parallel >> serial before the atomic-dispatch rewrite).
+	if parallel > serial+serial/2 {
+		t.Errorf("parallel sweep %v is slower than serial %v beyond tolerance", parallel, serial)
 	}
 }

@@ -380,22 +380,33 @@ func BenchmarkHeapLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineContendedRun times one full contended simulation at three
+// worker settings: workers=1 is the exact serial interleave (the historical
+// number and the allocation gate's subject), workers=2 always takes the
+// parallel window path regardless of host core count, and workers=max uses
+// GOMAXPROCS. All three produce bit-identical Results; only wall clock may
+// differ. scripts/bench.sh derives window_speedup from 1 vs max.
 func BenchmarkEngineContendedRun(b *testing.B) {
 	m := topology.XeonE5_4650()
-	bld := micro.Sumv(micro.BigCentralized, 0)
-	cfg := program.Config{Threads: 32, Nodes: 4, Input: "default", Seed: 3}
-	ecfg := engine.Config{Window: 8192, Warmup: 2048, ReservoirSize: 512, Seed: 3}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p, err := bld.New(m, cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := p.Run(ecfg); err != nil {
-			b.Fatal(err)
+	run := func(b *testing.B, workers int) {
+		bld := micro.Sumv(micro.BigCentralized, 0)
+		cfg := program.Config{Threads: 32, Nodes: 4, Input: "default", Seed: 3}
+		ecfg := engine.Config{Window: 8192, Warmup: 2048, ReservoirSize: 512, Seed: 3, Workers: workers}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := bld.New(m, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Run(ecfg); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers=2", func(b *testing.B) { run(b, 2) })
+	b.Run("workers=max", func(b *testing.B) { run(b, 0) })
 }
 
 func BenchmarkInterleaveGroundTruthProbe(b *testing.B) {

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"drbw"
+	"drbw/internal/core"
 	"drbw/internal/obs"
 )
 
@@ -40,11 +41,13 @@ func main() {
 	objects := flag.String("objects", "", "allocation-table CSV, or a comma-separated list (required)")
 	model := flag.String("model", "", "saved classifier from drbw-train -o")
 	quick := flag.Bool("quick", false, "quick training when no -model is given")
+	workers := flag.Int("workers", 0, "worker goroutines for multi-trace analysis and each training run's window stage (0 = GOMAXPROCS, 1 = serial); never changes results")
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address")
 	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
 	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
 	flag.Parse()
 
+	core.SetPoolWorkers(*workers)
 	obs.SetProgressWriter(os.Stderr)
 	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
 		log.Fatal(err)
@@ -76,7 +79,7 @@ func main() {
 	} else {
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "no -model given; training classifier (quick=%v)...\n", *quick)
-		tool, err = drbw.Train(drbw.Config{Quick: *quick})
+		tool, err = drbw.Train(drbw.Config{Quick: *quick, Workers: *workers})
 		if err == nil {
 			fmt.Fprintf(os.Stderr, "trained in %.1fs\n", time.Since(start).Seconds())
 		}

@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"drbw/internal/core"
 	"drbw/internal/experiments"
 	"drbw/internal/obs"
 )
@@ -50,6 +51,7 @@ func mainImpl() int {
 	quick := flag.Bool("quick", false, "reduced sweeps and training set")
 	exp := flag.String("exp", "all", "experiment to run (comma separated)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "worker goroutines for the batch pool and each run's window stage (0 = GOMAXPROCS, 1 = serial); never changes results")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -116,7 +118,8 @@ func mainImpl() int {
 
 	// The work runs through run() so the profiling defers above flush even
 	// on failure (log.Fatal would bypass them).
-	err := run(*quick, *exp, *seed)
+	core.SetPoolWorkers(*workers)
+	err := run(*quick, *exp, *seed, *workers)
 	if *metrics {
 		if b, merr := obs.SnapshotJSON(); merr == nil {
 			fmt.Printf("== metrics ==\n%s\n", b)
@@ -131,10 +134,10 @@ func mainImpl() int {
 	return 0
 }
 
-func run(quick bool, exp string, seed uint64) error {
+func run(quick bool, exp string, seed uint64, workers int) error {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "training classifier (quick=%v)...\n", quick)
-	ctx, err := experiments.NewContext(quick, seed)
+	ctx, err := experiments.NewContextWorkers(quick, seed, workers)
 	if err != nil {
 		return err
 	}

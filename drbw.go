@@ -101,6 +101,12 @@ type Config struct {
 	Sampling string
 	// Seed makes everything deterministic (default 1).
 	Seed uint64
+	// Workers bounds the goroutines each simulation run uses for its window
+	// stage (see engine.Config.Workers): 0 uses GOMAXPROCS, 1 forces the
+	// serial path. Any value produces bit-identical results. The batch APIs'
+	// case-level fan-out is governed separately by core.SetPoolWorkers
+	// (the CLIs' -workers flags set both).
+	Workers int
 }
 
 func (c Config) engineConfig() engine.Config {
@@ -118,6 +124,7 @@ func (c Config) engineConfig() engine.Config {
 	if c.Sampling == "ibs" {
 		ecfg.SamplerFlavor = pebs.IBS
 	}
+	ecfg.Workers = c.Workers
 	return ecfg
 }
 

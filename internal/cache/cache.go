@@ -17,6 +17,7 @@ package cache
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -399,7 +400,90 @@ type hierKey struct {
 // a freshly built one, so NewHierarchy can hand back a recycled instance and
 // skip both the allocation and the zeroing of its way arrays. Batch sweeps
 // build one hierarchy per run, which made that construction cost a hot path.
-var hierPool sync.Map // hierKey -> *sync.Pool of *Hierarchy
+//
+// The pool is bounded on both axes, unlike the sync.Map/sync.Pool it
+// replaces: at most poolMaxKeys distinct (machine, geometry) builds are
+// retained (keys are evicted least-recently-used, so short-lived machines —
+// tests, per-trace topologies — cannot accumulate forever), and each key
+// keeps at most poolMaxPerKey hierarchies (enough to feed a full worker
+// pool). Within those bounds retention is deterministic: a plain map never
+// drops entries on GC the way sync.Pool does, so a batch sweep is never
+// surprised by a multi-megabyte hierarchy rebuild mid-run.
+var hierPool = hierCache{stacks: make(map[hierKey][]*Hierarchy)}
+
+// poolMaxKeys bounds the distinct (machine, geometry) builds retained.
+const poolMaxKeys = 8
+
+// poolMaxPerKey bounds the hierarchies kept per key: one per worker of a
+// saturated batch pool, with a small floor.
+func poolMaxPerKey() int {
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		return n
+	}
+	return 4
+}
+
+type hierCache struct {
+	mu     sync.Mutex
+	stacks map[hierKey][]*Hierarchy
+	order  []hierKey // least recently used first
+}
+
+// touch moves k to the most-recently-used end of the LRU order, inserting
+// it (evicting the oldest key if full) when absent.
+func (p *hierCache) touch(k hierKey) {
+	for i, o := range p.order {
+		if o == k {
+			copy(p.order[i:], p.order[i+1:])
+			p.order[len(p.order)-1] = k
+			return
+		}
+	}
+	if len(p.order) >= poolMaxKeys {
+		old := p.order[0]
+		copy(p.order, p.order[1:])
+		p.order = p.order[:len(p.order)-1]
+		delete(p.stacks, old)
+	}
+	p.order = append(p.order, k)
+	if _, ok := p.stacks[k]; !ok {
+		p.stacks[k] = nil
+	}
+}
+
+func (p *hierCache) get(k hierKey) *Hierarchy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stacks[k]
+	if len(s) == 0 {
+		return nil
+	}
+	h := s[len(s)-1]
+	s[len(s)-1] = nil
+	p.stacks[k] = s[:len(s)-1]
+	p.touch(k)
+	return h
+}
+
+func (p *hierCache) put(k hierKey, h *Hierarchy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.touch(k)
+	if s := p.stacks[k]; len(s) < poolMaxPerKey() {
+		p.stacks[k] = append(s, h)
+	}
+}
+
+// PoolStats reports the recycle pool's occupancy — distinct keys and total
+// retained hierarchies. Exposed for the bounding tests.
+func PoolStats() (keys, hierarchies int) {
+	hierPool.mu.Lock()
+	defer hierPool.mu.Unlock()
+	for _, s := range hierPool.stacks {
+		hierarchies += len(s)
+	}
+	return len(hierPool.stacks), hierarchies
+}
 
 // NewHierarchy builds the hierarchy for machine m.
 func NewHierarchy(m *topology.Machine, cfg Config) (*Hierarchy, error) {
@@ -423,10 +507,8 @@ func NewHierarchy(m *topology.Machine, cfg Config) (*Hierarchy, error) {
 		cfg.PrefetchStreams = def.PrefetchStreams
 	}
 
-	if p, ok := hierPool.Load(hierKey{m, cfg}); ok {
-		if v := p.(*sync.Pool).Get(); v != nil {
-			return v.(*Hierarchy), nil
-		}
+	if h := hierPool.get(hierKey{m, cfg}); h != nil {
+		return h, nil
 	}
 
 	line := m.LineSize()
@@ -468,8 +550,7 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // another caller.
 func (h *Hierarchy) Release() {
 	h.Flush()
-	p, _ := hierPool.LoadOrStore(hierKey{h.machine, h.cfg}, new(sync.Pool))
-	p.(*sync.Pool).Put(h)
+	hierPool.put(hierKey{h.machine, h.cfg}, h)
 }
 
 // Access runs one demand access (read or write, write-allocate) issued by

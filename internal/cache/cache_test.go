@@ -463,3 +463,60 @@ func TestReleaseRecyclesEquivalently(t *testing.T) {
 		}
 	}
 }
+
+// TestHierPoolBounded releases hierarchies for more machine+config shapes
+// than the pool retains and checks that both bounds hold: at most
+// poolMaxKeys distinct shapes survive (LRU eviction), and no shape stacks
+// more than poolMaxPerKey instances. Without these bounds a long batch run
+// over heterogeneous configs pins an unbounded set of multi-MB hierarchies.
+func TestHierPoolBounded(t *testing.T) {
+	m := topology.Uniform(2, 2)
+	mkCfg := func(i int) Config {
+		return Config{
+			L1Size: 1 << 10, L1Assoc: 2,
+			L2Size: 4 << 10, L2Assoc: 4,
+			L3Size: 16 << 10, L3Assoc: 4,
+			LFBEntries: 4 + i, // distinct config => distinct pool key
+		}
+	}
+	shapes := 2 * poolMaxKeys
+	for i := 0; i < shapes; i++ {
+		// Over-release one shape to probe the per-key depth cap too.
+		n := 1
+		if i == shapes-1 {
+			n = 3 * poolMaxPerKey()
+		}
+		for j := 0; j < n; j++ {
+			h, err := NewHierarchy(m, mkCfg(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Release()
+			// Take it back out and re-release so the over-release loop
+			// actually accumulates distinct instances in the stack.
+			if j < n-1 {
+				h2, err := NewHierarchy(m, mkCfg(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer h2.Release()
+			}
+		}
+	}
+	keys, hiers := PoolStats()
+	if keys > poolMaxKeys {
+		t.Errorf("pool retains %d keys, cap is %d", keys, poolMaxKeys)
+	}
+	if max := poolMaxKeys * poolMaxPerKey(); hiers > max {
+		t.Errorf("pool retains %d hierarchies, cap is %d", hiers, max)
+	}
+	// The most recently released shape must still be cached (LRU keeps it).
+	h, err := NewHierarchy(m, mkCfg(shapes-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if keysAfter, _ := PoolStats(); keysAfter > keys {
+		t.Errorf("NewHierarchy for a cached shape grew the pool: %d -> %d keys", keys, keysAfter)
+	}
+}

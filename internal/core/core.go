@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"drbw/internal/diagnose"
 	"drbw/internal/dtree"
@@ -128,33 +129,61 @@ func peakRemoteUtil(m *topology.Machine, res *engine.Result) float64 {
 	return maxU
 }
 
+// poolWorkers overrides the batch-pool width when nonzero; see
+// SetPoolWorkers.
+var poolWorkers int32
+
+// SetPoolWorkers sets the process-wide worker count used by ParallelFor
+// (and so every batch pipeline in this package). 0 — the default — means
+// GOMAXPROCS; negative values are treated as 0. The CLIs' -workers flags
+// route here.
+func SetPoolWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	atomic.StoreInt32(&poolWorkers, int32(n))
+}
+
+// PoolWorkers resolves the effective batch-pool width.
+func PoolWorkers() int {
+	if w := int(atomic.LoadInt32(&poolWorkers)); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // ParallelFor runs fn(i) for every i in [0, n) on a bounded pool of
-// GOMAXPROCS workers — the channel fan-out every batch pipeline in this
-// package shares. fn must write only to its own index's state; ParallelFor
-// returns once every call has finished.
+// PoolWorkers workers — the fan-out every batch pipeline in this package
+// shares. Work is claimed through a single atomic counter rather than a
+// channel, so the dispatching goroutine never serializes the pool. fn must
+// write only to its own index's state; ParallelFor returns once every call
+// has finished.
 func ParallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+	workers := PoolWorkers()
 	if workers > n {
 		workers = n
 	}
-	if workers < 1 {
-		workers = 1
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	next := int64(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }
 

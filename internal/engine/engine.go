@@ -71,6 +71,16 @@ type Config struct {
 	// their collector configs. The engine itself reads the flavor from the
 	// Collector.
 	SamplerFlavor pebs.Flavor
+	// Workers bounds the goroutines that execute the window simulation.
+	// Threads are sharded by the NUMA node they are bound to (cores — and so
+	// L1/L2/LFB/prefetcher state — belong to exactly one node, and the L3 is
+	// per node, so groups share no cache state); would-be first touches of
+	// unresolved pages are recorded per group and arbitrated by global
+	// interleave order when the groups join, which makes the parallel window
+	// bit-identical to the serial interleave at any worker count. 0 uses
+	// GOMAXPROCS; 1 forces the serial path. Values above the bound-node
+	// count add nothing. The integration stage is serial either way.
+	Workers int
 	// Reference selects the slow map-based reference implementation of the
 	// window and integration stages instead of the dense-indexed fast path.
 	// Both paths share the same randomness discipline and must produce
@@ -478,10 +488,10 @@ func (t *winThread) refill(seed uint64, step int) error {
 func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64, st *runStats) ([]*profile, error) {
 	e.hier.Flush()
 	n := len(bind)
-	nn, nch := e.nn, e.nch
+	nch := e.nch
 	profiles := make([]*profile, n)
-	// act holds the running threads in thread order; the interleave below
-	// visits them exactly as the per-access path visited the active subset.
+	// act holds the running threads in thread order; the interleave visits
+	// them exactly as the per-access path visited the active subset.
 	act := make([]winThread, 0, n)
 	for i, spec := range ph.Threads {
 		profiles[i] = &profile{}
@@ -504,12 +514,62 @@ func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64, st *runSt
 		})
 	}
 
+	if groups := e.windowGroups(act); groups != nil {
+		if err := e.windowParallel(act, groups); err != nil {
+			return nil, err
+		}
+	} else if err := e.windowSerial(act); err != nil {
+		return nil, err
+	}
+
+	st.warmup += uint64(e.cfg.Warmup) * uint64(len(act))
+	for ti := range act {
+		t := &act[ti]
+		t.prof.reservoir = t.res
+		if t.total == 0 {
+			continue
+		}
+		st.accesses += uint64(t.total)
+		for l := 0; l < 5; l++ {
+			st.level[l] += uint64(t.level[l])
+		}
+		p := t.prof
+		tf := float64(t.total)
+		p.total = tf
+		for l := 0; l < 5; l++ {
+			p.fLevel[l] = float64(t.level[l]) / tf
+		}
+		p.memFrac = make([]float64, nch)
+		p.lfbFrac = make([]float64, nch)
+		p.traffic = make([]float64, nch)
+		for ci := 0; ci < nch; ci++ {
+			if v := t.mem[ci]; v > 0 {
+				p.memFrac[ci] = float64(v) / tf
+				p.memCis = append(p.memCis, int32(ci))
+			}
+			if v := t.lfb[ci]; v > 0 {
+				p.lfbFrac[ci] = float64(v) / tf
+				p.lfbCis = append(p.lfbCis, int32(ci))
+			}
+			if v := t.traf[ci]; v > 0 {
+				p.traffic[ci] = float64(v) / tf
+				p.trafCis = append(p.trafCis, int32(ci))
+			}
+		}
+	}
+	return profiles, nil
+}
+
+// windowSerial is the single-goroutine interleave: each turn advances one
+// access per active thread, in thread order, so the shared L3 and
+// first-touch resolution see concurrent access. It defines the reference
+// ordering the parallel path (parallel.go) must reproduce bit-for-bit.
+func (e *Engine) windowSerial(act []winThread) error {
 	total := e.cfg.Warmup + e.cfg.Window
 	hier, space, seed := e.hier, e.space, e.cfg.Seed
 	rsz := e.cfg.ReservoirSize
+	nn := e.nn
 
-	// Round-robin interleave so the shared L3 and first-touch resolution see
-	// concurrent access. Each turn advances one access per active thread.
 	// The warmup steps run as their own loop: they exist to populate the
 	// caches and trigger first-touch placement (HomeFor's side effect), so
 	// they skip the accounting and the per-access warm check entirely.
@@ -519,7 +579,7 @@ func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64, st *runSt
 			t := &act[ti]
 			if t.bpos == t.blen {
 				if err := t.refill(seed, step); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			a := &t.buf[t.bpos]
@@ -535,7 +595,7 @@ func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64, st *runSt
 			t := &act[ti]
 			if t.bpos == t.blen {
 				if err := t.refill(seed, step); err != nil {
-					return nil, err
+					return err
 				}
 			}
 			a := &t.buf[t.bpos]
@@ -577,43 +637,7 @@ func (e *Engine) window(ph trace.Phase, bind Binding, phaseIdx uint64, st *runSt
 			}
 		}
 	}
-
-	st.warmup += uint64(warmup) * uint64(len(act))
-	for ti := range act {
-		t := &act[ti]
-		t.prof.reservoir = t.res
-		if t.total == 0 {
-			continue
-		}
-		st.accesses += uint64(t.total)
-		for l := 0; l < 5; l++ {
-			st.level[l] += uint64(t.level[l])
-		}
-		p := t.prof
-		tf := float64(t.total)
-		p.total = tf
-		for l := 0; l < 5; l++ {
-			p.fLevel[l] = float64(t.level[l]) / tf
-		}
-		p.memFrac = make([]float64, nch)
-		p.lfbFrac = make([]float64, nch)
-		p.traffic = make([]float64, nch)
-		for ci := 0; ci < nch; ci++ {
-			if v := t.mem[ci]; v > 0 {
-				p.memFrac[ci] = float64(v) / tf
-				p.memCis = append(p.memCis, int32(ci))
-			}
-			if v := t.lfb[ci]; v > 0 {
-				p.lfbFrac[ci] = float64(v) / tf
-				p.lfbCis = append(p.lfbCis, int32(ci))
-			}
-			if v := t.traf[ci]; v > 0 {
-				p.traffic[ci] = float64(v) / tf
-				p.trafCis = append(p.trafCis, int32(ci))
-			}
-		}
-	}
-	return profiles, nil
+	return nil
 }
 
 // pairBaseLatency returns the unloaded DRAM latency for a (src,dst) pair.

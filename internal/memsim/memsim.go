@@ -347,6 +347,94 @@ func (as *AddressSpace) homeForSlow(addr uint64, accessor topology.NodeID, slot 
 	return node
 }
 
+// Reader is a read-only resolver over a frozen AddressSpace. Unlike
+// HomeFor it never mutates the space — not even its memo caches — so any
+// number of Readers may resolve concurrently from different goroutines, as
+// long as nothing mutates the space (Map/Unmap/SetPolicy/Touch/HomeFor)
+// while they are in use. The parallel window execution creates one Reader
+// per thread group, records would-be first touches locally, and commits the
+// arbitrated winners through Touch after the groups join.
+//
+// A Reader caches region and page lookups privately; it must be discarded
+// after any placement mutation.
+type Reader struct {
+	as      *AddressSpace
+	findHit *region
+	memo    [homeMemoSize]readerMemoEntry
+}
+
+// readerMemoEntry caches one resolved (page, accessor) pair. end == 0 marks
+// an empty slot (unmapped addresses are never memoized). node is
+// topology.InvalidNode for a first-touch page that was untouched at read
+// time.
+type readerMemoEntry struct {
+	start, end uint64
+	accessor   topology.NodeID
+	node       topology.NodeID
+}
+
+// NewReader returns a read-only resolver over the space's current placement.
+func (as *AddressSpace) NewReader() *Reader { return &Reader{as: as} }
+
+// find is AddressSpace.find with the last-hit cache kept on the Reader, so
+// concurrent Readers never write shared state.
+func (rd *Reader) find(addr uint64) *region {
+	if r := rd.findHit; r != nil && r.contains(addr) {
+		return r
+	}
+	regions := rd.as.regions
+	idx := sort.Search(len(regions), func(i int) bool { return regions[i].base > addr })
+	if idx == 0 {
+		return nil
+	}
+	r := regions[idx-1]
+	if !r.contains(addr) {
+		return nil
+	}
+	rd.findHit = r
+	return r
+}
+
+// Resolve reports which node serves an access to addr issued from
+// accessor's node, like HomeFor, but without resolving first touches: an
+// untouched first-touch page reports node == topology.InvalidNode and its
+// page bounds, leaving the placement decision to the caller. An unmapped
+// addr reports (InvalidNode, 0, 0).
+func (rd *Reader) Resolve(addr uint64, accessor topology.NodeID) (node topology.NodeID, start, end uint64) {
+	slot := &rd.memo[homeMemoSlot(addr, accessor)]
+	if slot.end != 0 && slot.accessor == accessor && addr >= slot.start && addr < slot.end {
+		return slot.node, slot.start, slot.end
+	}
+	return rd.resolveSlow(addr, accessor, slot)
+}
+
+// resolveSlow handles a memo miss and refills the caller's slot; split out
+// so the memo-hit path of Resolve inlines into the engine's access loop.
+func (rd *Reader) resolveSlow(addr uint64, accessor topology.NodeID, slot *readerMemoEntry) (topology.NodeID, uint64, uint64) {
+	r := rd.find(addr)
+	if r == nil {
+		return topology.InvalidNode, 0, 0
+	}
+	var node topology.NodeID
+	if r.pol.Kind == Replicate {
+		set := rd.as.nodeSet(r.pol)
+		node = set[0]
+		for _, n := range set {
+			if n == accessor {
+				node = accessor
+				break
+			}
+		}
+	} else {
+		node = r.pageNodes[r.pageIndex(addr)]
+	}
+	start := r.base + uint64(r.pageIndex(addr))*r.pageSize
+	slot.accessor = accessor
+	slot.start, slot.end = start, start+r.pageSize
+	slot.node = node
+	return node, slot.start, slot.end
+}
+
 // PolicyOf returns the placement policy of the region containing addr.
 func (as *AddressSpace) PolicyOf(addr uint64) (Policy, bool) {
 	r := as.find(addr)

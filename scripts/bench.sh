@@ -6,9 +6,14 @@
 #
 # Environment:
 #   BENCHTIME         go test -benchtime value (default 2s; CI uses 1x)
-#   MAX_ENGINE_ALLOCS when set, fail if BenchmarkEngineContendedRun exceeds
-#                     this many allocs/op (the allocation-regression gate:
-#                     allocations must stay O(1) per window, not per access)
+#   MAX_ENGINE_ALLOCS when set, fail if any BenchmarkEngineContendedRun
+#                     variant exceeds this many allocs/op (the
+#                     allocation-regression gate: allocations must stay O(1)
+#                     per window, not per access, with or without workers)
+#   MIN_BATCH_SPEEDUP when set, fail if BenchmarkBatchEvaluation's
+#                     serial/parallel wall-clock ratio falls below this
+#                     value; skipped with a warning on hosts with fewer
+#                     than 4 cores, where no speedup is physically possible
 #
 # The four benchmarks tracked here cover the simulation hot path end to end:
 # a full contended engine run, the batch evaluation sweep built on it, the
@@ -27,7 +32,9 @@ trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem . | tee "$raw"
 
-awk -v out="$out" '
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+
+awk -v out="$out" -v cores="$cores" '
 /^Benchmark/ && /ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -42,12 +49,30 @@ awk -v out="$out" '
 }
 END {
     printf "{\n" > out
+    printf "  \"cores\": %d,\n", cores >> out
     printf "  \"baseline\": {\n" >> out
     printf "    \"comment\": \"pre-fast-path numbers (map-keyed accounting, per-access allocation); 2.10GHz Xeon\",\n" >> out
     printf "    \"BenchmarkEngineContendedRun\": {\"ns_per_op\": 17740826, \"bytes_per_op\": 24712849, \"allocs_per_op\": 1364},\n" >> out
     printf "    \"BenchmarkCacheHierarchyAccess\": {\"ns_per_op\": 108.3},\n" >> out
     printf "    \"BenchmarkStreamGeneration\": {\"ns_per_op\": 2.423}\n" >> out
     printf "  },\n" >> out
+    # parallel_speedup: serial/parallel wall-clock ratios. batch is the
+    # cross-run pool (BenchmarkBatchEvaluation), window is one run sharded
+    # across workers (BenchmarkEngineContendedRun workers=1 vs workers=max).
+    # Both degenerate to ~1.0 on a single-core host.
+    bs = nsv["BenchmarkBatchEvaluation/serial"]
+    bp = nsv["BenchmarkBatchEvaluation/parallel"]
+    w1 = nsv["BenchmarkEngineContendedRun/workers=1"]
+    wm = nsv["BenchmarkEngineContendedRun/workers=max"]
+    printf "  \"parallel_speedup\": {" >> out
+    sep = ""
+    if (bs != "" && bp != "" && bp + 0 > 0) {
+        printf "\"batch\": %.2f", bs / bp >> out; sep = ", "
+    }
+    if (w1 != "" && wm != "" && wm + 0 > 0) {
+        printf "%s\"window\": %.2f", sep, w1 / wm >> out
+    }
+    printf "},\n" >> out
     printf "  \"benchmarks\": {\n" >> out
     for (i = 1; i <= n; i++) {
         name = names[i]
@@ -63,9 +88,11 @@ END {
 echo "wrote $out"
 
 if [ -n "${MAX_ENGINE_ALLOCS:-}" ]; then
+    # Worst variant across worker settings: the gate must hold for the
+    # serial path AND with the parallel window's extra bookkeeping.
     allocs=$(awk '/^BenchmarkEngineContendedRun/ {
         for (i = 2; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
-    }' "$raw" | head -1)
+    }' "$raw" | sort -n | tail -1)
     if [ -z "$allocs" ]; then
         echo "allocation gate: BenchmarkEngineContendedRun not found in output" >&2
         exit 1
@@ -74,5 +101,26 @@ if [ -n "${MAX_ENGINE_ALLOCS:-}" ]; then
         echo "allocation gate: BenchmarkEngineContendedRun at $allocs allocs/op (limit $MAX_ENGINE_ALLOCS)" >&2
         exit 1
     fi
-    echo "allocation gate: $allocs allocs/op <= $MAX_ENGINE_ALLOCS"
+    echo "allocation gate: $allocs allocs/op <= $MAX_ENGINE_ALLOCS (worst worker variant)"
+fi
+
+if [ -n "${MIN_BATCH_SPEEDUP:-}" ]; then
+    if [ "$cores" -lt 4 ]; then
+        echo "speedup gate: skipped ($cores cores; needs >= 4 for a meaningful ratio)" >&2
+    else
+        speedup=$(awk '
+        /^BenchmarkBatchEvaluation\/serial/   { for (i = 2; i <= NF; i++) if ($i == "ns/op") s = $(i-1) }
+        /^BenchmarkBatchEvaluation\/parallel/ { for (i = 2; i <= NF; i++) if ($i == "ns/op") p = $(i-1) }
+        END { if (s != "" && p != "" && p + 0 > 0) printf "%.2f", s / p }
+        ' "$raw")
+        if [ -z "$speedup" ]; then
+            echo "speedup gate: BenchmarkBatchEvaluation serial/parallel not found in output" >&2
+            exit 1
+        fi
+        if awk -v s="$speedup" -v min="$MIN_BATCH_SPEEDUP" 'BEGIN { exit !(s < min) }'; then
+            echo "speedup gate: batch speedup ${speedup}x below minimum ${MIN_BATCH_SPEEDUP}x on $cores cores" >&2
+            exit 1
+        fi
+        echo "speedup gate: batch speedup ${speedup}x >= ${MIN_BATCH_SPEEDUP}x"
+    fi
 fi
