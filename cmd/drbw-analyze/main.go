@@ -1,18 +1,29 @@
 // drbw-analyze runs DR-BW's classification and diagnosis offline, on one
-// or more recorded profiles: a sample CSV plus an allocation-table CSV
-// (produced by drbw-profile -record, TraceData.Save, or any tool emitting
-// the same schema — see internal/profiledata).
+// or more recorded profiles: a samples file (CSV or binary columnar,
+// autodetected) plus an allocation-table CSV (produced by drbw-profile
+// -record, TraceData.Save/SaveAs, or any tool emitting the same schema —
+// see internal/profiledata).
 //
 // Usage:
 //
 //	drbw-analyze -samples run.samples.csv -objects run.objects.csv
 //	             [-model model.json] [-quick]
 //	             [-http addr] [-metrics] [-log level]
+//	drbw-analyze -samples run.samples.csv -objects run.objects.csv
+//	             -convert out [-format csv|binary]
 //
-// Both flags accept comma-separated lists (paired positionally); multiple
-// recordings are analyzed in parallel via Tool.AnalyzeTraces with per-trace
-// progress on stderr, and a recording that fails to analyze does not abort
-// the others.
+// Both file flags accept comma-separated lists (paired positionally);
+// multiple recordings are analyzed in parallel via Tool.AnalyzeTraceFiles
+// with per-trace progress on stderr, and a recording that fails to analyze
+// does not abort the others. Samples files may be CSV or the binary
+// columnar format; the reader autodetects. Analysis streams recordings
+// block by block, so memory stays bounded however large the trace is.
+//
+// -convert transcodes the recordings to <prefix>.samples.{csv,bin} and
+// <prefix>.objects.csv in the format chosen by -format (default binary)
+// instead of analyzing; with multiple recordings, -convert takes a
+// comma-separated prefix list paired positionally. No classifier is
+// trained in convert mode.
 //
 // Without -model a classifier is trained first; with it, the saved model
 // from drbw-train -o is used and no simulation runs at all.
@@ -37,8 +48,10 @@ import (
 )
 
 func main() {
-	samples := flag.String("samples", "", "sample CSV, or a comma-separated list (required)")
+	samples := flag.String("samples", "", "samples file (CSV or binary, autodetected), or a comma-separated list (required)")
 	objects := flag.String("objects", "", "allocation-table CSV, or a comma-separated list (required)")
+	convert := flag.String("convert", "", "transcode the recordings to this output prefix (or comma-separated prefix list) instead of analyzing")
+	format := flag.String("format", "binary", "target format for -convert: csv or binary")
 	model := flag.String("model", "", "saved classifier from drbw-train -o")
 	quick := flag.Bool("quick", false, "quick training when no -model is given")
 	workers := flag.Int("workers", 0, "worker goroutines for multi-trace analysis and each training run's window stage (0 = GOMAXPROCS, 1 = serial); never changes results")
@@ -72,6 +85,11 @@ func main() {
 			len(sampleFiles), len(objectFiles))
 	}
 
+	if *convert != "" {
+		convertTraces(sampleFiles, objectFiles, splitList(*convert), *format)
+		return
+	}
+
 	var tool *drbw.Tool
 	var err error
 	if *model != "" {
@@ -88,19 +106,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	tds := make([]*drbw.TraceData, len(sampleFiles))
+	paths := make([]drbw.TracePaths, len(sampleFiles))
 	for i := range sampleFiles {
-		td, err := drbw.LoadTrace(sampleFiles[i], objectFiles[i])
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "loaded %s: %d samples (weight %g), %d objects\n",
-			sampleFiles[i], len(td.Samples), td.Weight, len(td.Objects))
-		tds[i] = td
+		paths[i] = drbw.TracePaths{Samples: sampleFiles[i], Objects: objectFiles[i]}
 	}
-	fmt.Fprintln(os.Stderr)
-
-	reports, err := tool.AnalyzeTraces(tds)
+	reports, err := tool.AnalyzeTraceFiles(paths)
 	for i, rep := range reports {
 		if len(reports) > 1 {
 			fmt.Printf("== %s ==\n", sampleFiles[i])
@@ -120,6 +130,38 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// convertTraces transcodes each recording to the target format under its
+// paired output prefix.
+func convertTraces(sampleFiles, objectFiles, prefixes []string, format string) {
+	var tf drbw.TraceFormat
+	ext := ".csv"
+	switch strings.ToLower(format) {
+	case "csv":
+		tf = drbw.FormatCSV
+	case "binary", "bin":
+		tf = drbw.FormatBinary
+		ext = ".bin"
+	default:
+		log.Fatalf("drbw-analyze: unknown -format %q (want csv or binary)", format)
+	}
+	if len(prefixes) != len(sampleFiles) {
+		log.Fatalf("drbw-analyze: %d recordings but %d -convert prefixes; the lists pair positionally",
+			len(sampleFiles), len(prefixes))
+	}
+	for i := range sampleFiles {
+		td, err := drbw.LoadTrace(sampleFiles[i], objectFiles[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		sPath, oPath := prefixes[i]+".samples"+ext, prefixes[i]+".objects.csv"
+		if err := td.SaveAs(sPath, oPath, tf); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "converted %s (%d samples, weight %g) -> %s\n",
+			sampleFiles[i], len(td.Samples), td.Weight, sPath)
 	}
 }
 

@@ -7,7 +7,12 @@
 //	drbw-profile -bench Streamcluster [-input native] [-threads 32]
 //	             [-nodes 4] [-fix replicate|colocate|interleave]
 //	             [-objects block,point.p] [-quick] [-truth]
+//	             [-record run [-format csv|binary]]
 //	drbw-profile -list
+//
+// -record writes the raw profile for offline analysis; -format picks the
+// samples encoding (csv is greppable text, binary is the compact columnar
+// format — drbw-analyze reads both).
 package main
 
 import (
@@ -32,7 +37,8 @@ func main() {
 	truth := flag.Bool("truth", false, "also run the interleave ground-truth probe")
 	quick := flag.Bool("quick", false, "quick training")
 	model := flag.String("model", "", "load a saved classifier instead of training")
-	record := flag.String("record", "", "record the profile to <prefix>.samples.csv and <prefix>.objects.csv")
+	record := flag.String("record", "", "record the profile to <prefix>.samples.{csv,bin} and <prefix>.objects.csv")
+	format := flag.String("format", "csv", "recording format for -record: csv (text, greppable) or binary (columnar, compact)")
 	flag.Parse()
 
 	if *list {
@@ -67,12 +73,23 @@ func main() {
 	c := drbw.Case{Input: *input, Threads: *threads, Nodes: *nodes}
 
 	if *record != "" {
+		var tf drbw.TraceFormat
+		ext := ".csv"
+		switch strings.ToLower(*format) {
+		case "csv":
+			tf = drbw.FormatCSV
+		case "binary", "bin":
+			tf = drbw.FormatBinary
+			ext = ".bin"
+		default:
+			log.Fatalf("unknown -format %q (want csv or binary)", *format)
+		}
 		td, err := tool.Record(*bench, c)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sPath, oPath := *record+".samples.csv", *record+".objects.csv"
-		if err := td.Save(sPath, oPath); err != nil {
+		sPath, oPath := *record+".samples"+ext, *record+".objects.csv"
+		if err := td.SaveAs(sPath, oPath, tf); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "recorded %d samples to %s, %d objects to %s\n",

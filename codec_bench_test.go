@@ -1,0 +1,142 @@
+package drbw_test
+
+// Codec and streaming-analysis benchmarks on a ~1M-sample synthetic trace.
+// scripts/bench.sh snapshots these into BENCH_engine.json and derives the
+// decode-speedup gate (binary must decode several times faster than CSV)
+// from the TraceDecode pair.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drbw"
+	"drbw/internal/profiledata"
+)
+
+// benchTraceSamples is ~1M: large enough that decode and analysis dominate
+// setup, small enough that a CSV copy of the trace fits comfortably in RAM.
+const benchTraceSamples = 1 << 20
+
+// codecTrace builds an n-sample recording on the CSV grid (integral times,
+// whole-cycle latencies) so both formats carry identical data and the
+// decode comparison is apples to apples. The mix skews toward remote MEM
+// traffic onto node 0 so the analysis benchmarks exercise the full
+// detect + attribute + timeline pipeline.
+func codecTrace(n int) *drbw.TraceData {
+	rng := rand.New(rand.NewSource(42))
+	levels := []string{"L1", "L2", "L3", "LFB", "MEM"}
+	const objSize = 1 << 24
+	td := &drbw.TraceData{Bench: "synthetic", Config: "bench", Weight: 3}
+	for i := 0; i < 8; i++ {
+		td.Objects = append(td.Objects, drbw.ObjectRecord{
+			ID: i, Name: fmt.Sprintf("obj%d", i), Func: "bench", File: "bench.go", Line: 10 + i,
+			Base: 0x10000000 + uint64(i)*objSize, Size: objSize,
+		})
+	}
+	td.Samples = make([]drbw.SampleRecord, n)
+	for i := range td.Samples {
+		level := levels[rng.Intn(len(levels))]
+		src := rng.Intn(4)
+		home := src
+		lat := float64(40 + rng.Intn(200))
+		if level == "MEM" {
+			home = rng.Intn(4) & 1 // remote traffic piles onto nodes 0 and 1
+			lat = float64(300 + rng.Intn(900))
+		}
+		td.Samples[i] = drbw.SampleRecord{
+			Time:     float64(i * 20),
+			CPU:      rng.Intn(32),
+			Thread:   rng.Intn(32),
+			Addr:     0x10000000 + uint64(rng.Int63n(8*objSize)),
+			Level:    level,
+			Latency:  lat,
+			Write:    rng.Intn(5) == 0,
+			SrcNode:  src,
+			HomeNode: home,
+		}
+	}
+	return td
+}
+
+// BenchmarkTraceDecode decodes the same 1M-sample trace from both on-disk
+// formats through the autodetecting reader. ns/op is the full-trace decode
+// time, so csv_ns / binary_ns is the decode speedup scripts/bench.sh gates
+// on; the binary variant also reports the file-size ratio as csv-size-x.
+func BenchmarkTraceDecode(b *testing.B) {
+	td := codecTrace(benchTraceSamples)
+	dir := b.TempDir()
+	encoded := map[string][]byte{}
+	for name, format := range map[string]drbw.TraceFormat{
+		"csv": drbw.FormatCSV, "binary": drbw.FormatBinary,
+	} {
+		sPath := filepath.Join(dir, "samples-"+name)
+		if err := td.SaveAs(sPath, filepath.Join(dir, "objects-"+name), format); err != nil {
+			b.Fatal(err)
+		}
+		raw, err := os.ReadFile(sPath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		encoded[name] = raw
+	}
+	for _, name := range []string{"csv", "binary"} {
+		b.Run(name, func(b *testing.B) {
+			raw := encoded[name]
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				samples, _, err := profiledata.ReadSamples(bytes.NewReader(raw))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(samples) != len(td.Samples) {
+					b.Fatalf("decoded %d samples, want %d", len(samples), len(td.Samples))
+				}
+			}
+			b.ReportMetric(float64(len(td.Samples)), "samples/op")
+			if name == "binary" {
+				b.ReportMetric(float64(len(encoded["csv"]))/float64(len(raw)), "csv-size-x")
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeTrace runs the full offline analysis of the 1M-sample
+// recording: slice is LoadTrace + AnalyzeTrace (materializes the trace),
+// stream is AnalyzeTraceFile (block-at-a-time, memory bounded by the decode
+// block size — visible in B/op).
+func BenchmarkAnalyzeTrace(b *testing.B) {
+	tool := sharedTool(b)
+	td := codecTrace(benchTraceSamples)
+	dir := b.TempDir()
+	sPath := filepath.Join(dir, "samples.bin")
+	oPath := filepath.Join(dir, "objects.csv")
+	if err := td.SaveAs(sPath, oPath, drbw.FormatBinary); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("slice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loaded, err := drbw.LoadTrace(sPath, oPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tool.AnalyzeTrace(loaded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := tool.AnalyzeTraceFile(sPath, oPath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

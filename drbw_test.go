@@ -15,8 +15,8 @@ var (
 )
 
 // sharedTool trains once (quick mode, reduced window) for every public-API
-// test.
-func sharedTool(t *testing.T) *drbw.Tool {
+// test and benchmark.
+func sharedTool(t testing.TB) *drbw.Tool {
 	t.Helper()
 	toolOnce.Do(func() {
 		tool, toolErr = drbw.Train(drbw.Config{

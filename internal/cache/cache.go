@@ -18,7 +18,6 @@ package cache
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"drbw/internal/topology"
@@ -146,6 +145,9 @@ func newSetAssoc(size, assoc, lineSize int) (*setAssoc, error) {
 	if lines < assoc || lines%assoc != 0 {
 		return nil, fmt.Errorf("cache: %d lines not divisible into %d ways", lines, assoc)
 	}
+	if assoc > 32 {
+		return nil, fmt.Errorf("cache: associativity %d exceeds the supported maximum of 32", assoc)
+	}
 	sets := lines / assoc
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("cache: set count %d must be a power of two", sets)
@@ -189,19 +191,32 @@ func (c *setAssoc) bump() uint64 {
 // order, resetting the clock to small values. Victim choice compares stamps
 // only within one set and hits only check use > floor, so behaviour is
 // bit-identical to an unbounded clock. Runs once per ~8M accesses to this
-// cache; the scratch allocation is irrelevant at that rate.
+// cache, but its cost still matters: recycled hierarchies carry their clock
+// across runs, so long batch sweeps renorm at a steady rate, and an earlier
+// sort.Slice-per-set implementation made each renorm of a large L3 allocate
+// tens of thousands of closure+swapper objects — the dominant allocation
+// source of whole batch sweeps. The insertion sort below is allocation-free
+// (ways ≤ 20) and orders the ways identically.
 func (c *setAssoc) renorm() {
-	ord := make([]int, c.ways)
+	var ord [32]int // max associativity supported by renorm's scratch
 	for base := 0; base < len(c.w); base += c.ways {
 		w := c.w[base : base+c.ways]
-		for i := range ord {
-			ord[i] = i
+		// Insertion sort of way indices by stamp, ascending. Stable, so ties
+		// between stale entries keep index order (immaterial, but it matches
+		// the previous sort exactly on live entries, whose stamps are unique).
+		n := 0
+		for i := range w {
+			stamp := w[i] >> wayTagBits
+			j := n
+			for j > 0 && w[ord[j-1]]>>wayTagBits > stamp {
+				ord[j] = ord[j-1]
+				j--
+			}
+			ord[j] = i
+			n++
 		}
-		sort.Slice(ord, func(a, b int) bool {
-			return w[ord[a]]>>wayTagBits < w[ord[b]]>>wayTagBits
-		})
 		rank := uint64(0)
-		for _, i := range ord {
+		for _, i := range ord[:n] {
 			if w[i]>>wayTagBits <= c.floor {
 				w[i] &= wayTagMask // stale or empty: lowest possible stamp
 				continue

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"drbw/internal/features"
 	"drbw/internal/program"
 	"drbw/internal/topology"
 )
@@ -42,14 +43,22 @@ func (d *Detector) batch(m *topology.Machine, jobs []BatchJob, evaluate bool) []
 		label = "evaluate.sweep"
 	}
 	out := make([]BatchResult, len(jobs))
-	ParallelForLabeled(len(jobs), label, func(i int) {
+	// One feature accumulator per worker: extraction scratch is reused
+	// across the cases a worker claims, so the sweep's allocation count
+	// scales with the pool width, not the job count.
+	accs := make([]*features.Accumulator, PoolWorkers())
+	ParallelForLabeledWorker(len(jobs), label, func(i, w int) {
+		var acc *features.Accumulator
+		if w < len(accs) {
+			if accs[w] == nil {
+				accs[w] = features.NewAccumulator(m)
+			}
+			acc = accs[w]
+		}
 		j := jobs[i]
-		var dn *Detection
-		var err error
-		if evaluate {
-			dn, err = d.Evaluate(j.Builder, m, j.Cfg)
-		} else {
-			dn, err = d.Detect(j.Builder, m, j.Cfg)
+		dn, err := d.detect(j.Builder, m, j.Cfg, acc)
+		if err == nil && evaluate {
+			err = d.GroundTruth(dn)
 		}
 		if err != nil {
 			out[i] = BatchResult{Err: fmt.Errorf("core: %s %s: %w", j.Builder.Name, j.Cfg, err)}

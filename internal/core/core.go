@@ -159,13 +159,22 @@ func PoolWorkers() int {
 // write only to its own index's state; ParallelFor returns once every call
 // has finished.
 func ParallelFor(n int, fn func(i int)) {
+	ParallelForWorker(n, func(i, _ int) { fn(i) })
+}
+
+// ParallelForWorker is ParallelFor with the worker index exposed: fn(i, w)
+// runs item i on worker w, where w is in [0, workers) and at most one item
+// runs on a given w at a time. Batch consumers key reusable scratch —
+// decode buffers, feature accumulators — by w, turning per-item allocations
+// into per-worker ones without any locking.
+func ParallelForWorker(n int, fn func(i, worker int)) {
 	workers := PoolWorkers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, 0)
 		}
 		return
 	}
@@ -173,16 +182,16 @@ func ParallelFor(n int, fn func(i int)) {
 	next := int64(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(i, w)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -342,6 +351,13 @@ type Detection struct {
 // the only simulation of the case the pipeline performs: the returned
 // Detection carries the run's program, samples and weight for diagnosis.
 func (d *Detector) Detect(b program.Builder, m *topology.Machine, cfg program.Config) (*Detection, error) {
+	return d.detect(b, m, cfg, nil)
+}
+
+// detect is Detect with optional reusable feature-extraction scratch; the
+// batch pipeline passes one accumulator per worker so a sweep allocates
+// extraction state per worker, not per case. nil means allocate fresh.
+func (d *Detector) detect(b program.Builder, m *topology.Machine, cfg program.Config, acc *features.Accumulator) (*Detection, error) {
 	p, err := b.New(m, cfg)
 	if err != nil {
 		return nil, err
@@ -363,7 +379,13 @@ func (d *Detector) Detect(b program.Builder, m *topology.Machine, cfg program.Co
 		builder:    b,
 	}
 	mergeCollectorStats(col)
-	for ch, vec := range features.ChannelVectors(m, dn.Samples, dn.Weight, d.MinSamples) {
+	if acc == nil {
+		acc = features.NewAccumulator(m)
+	} else {
+		acc.Reset()
+	}
+	acc.Add(dn.Samples)
+	for ch, vec := range acc.Vectors(dn.Weight, d.MinSamples) {
 		v := vec
 		label := features.Label(d.Tree.Predict(v[:]))
 		CountPrediction(label)

@@ -64,17 +64,24 @@ func CountDetectCase(contended bool) {
 // and the span's progress line (N/M done, elapsed, ETA) goes to the
 // configured progress writer.
 func ParallelForLabeled(n int, label string, fn func(i int)) {
+	ParallelForLabeledWorker(n, label, func(i, _ int) { fn(i) })
+}
+
+// ParallelForLabeledWorker is ParallelForLabeled over ParallelForWorker:
+// the same span, gauges and histogram, with the worker index passed through
+// so consumers can reuse per-worker scratch.
+func ParallelForLabeledWorker(n int, label string, fn func(i, worker int)) {
 	if n <= 0 {
 		return
 	}
 	prog := obs.StartProgress(label, n)
 	hist := obs.Default.Histogram("pool." + label + ".case_seconds")
 	mPoolQueue.Add(float64(n))
-	ParallelFor(n, func(i int) {
+	ParallelForWorker(n, func(i, w int) {
 		mPoolQueue.Add(-1)
 		mPoolInflight.Add(1)
 		start := time.Now()
-		fn(i)
+		fn(i, w)
 		hist.Observe(time.Since(start).Seconds())
 		mPoolInflight.Add(-1)
 		prog.Done()

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"drbw/internal/alloc"
+	"drbw/internal/cache"
 	"drbw/internal/pebs"
 	"drbw/internal/topology"
 )
@@ -59,46 +60,97 @@ type Attributor interface {
 
 // Analyze attributes the samples on the contended channels to heap objects.
 // weight scales kept samples to true counts (pebs.Collector.Weight).
+// Channels are processed in input order (duplicates collapsed), so the
+// report is deterministic and matches the streaming CFAccumulator bit for
+// bit.
 func Analyze(heap Attributor, samples []pebs.Sample, contended []topology.Channel, weight float64) *Report {
+	acc := NewCFAccumulator(heap, contended, weight)
+	acc.Add(samples)
+	return acc.Report()
+}
+
+// CFAccumulator is the incremental form of Analyze: feed sample chunks with
+// Add as they stream off a recording, then call Report. State is bounded by
+// the number of contended channels and live objects, never by the trace
+// length, and the final report is bit-identical to running Analyze on the
+// concatenation of all chunks.
+type CFAccumulator struct {
+	heap       Attributor
+	weight     float64
+	channels   []topology.Channel       // deduped, input order
+	index      map[topology.Channel]int // channel → position in channels
+	count      []int                    // per-channel sample count
+	byObj      []map[alloc.ObjectID]float64
+	totalByObj map[alloc.ObjectID]float64
+	unattr     float64
+}
+
+// NewCFAccumulator prepares CF attribution for the given contended
+// channels. weight scales kept samples to true counts; non-positive means 1.
+func NewCFAccumulator(heap Attributor, contended []topology.Channel, weight float64) *CFAccumulator {
 	if weight <= 0 {
 		weight = 1
 	}
-	rep := &Report{
-		Contended:  append([]topology.Channel(nil), contended...),
-		PerChannel: make(map[topology.Channel][]ObjectCF),
+	a := &CFAccumulator{
+		heap:       heap,
+		weight:     weight,
+		index:      make(map[topology.Channel]int, len(contended)),
+		totalByObj: map[alloc.ObjectID]float64{},
 	}
-	want := make(map[topology.Channel]bool, len(contended))
 	for _, ch := range contended {
-		want[ch] = true
-	}
-
-	byChannel := pebs.Associate(samples)
-	totalAll := 0.0
-	totalByObj := map[alloc.ObjectID]float64{}
-	unattr := 0.0
-	for ch := range want {
-		chSamples := byChannel[ch]
-		if len(chSamples) == 0 {
+		if _, dup := a.index[ch]; dup {
 			continue
 		}
-		chTotal := float64(len(chSamples)) * weight
-		chByObj := map[alloc.ObjectID]float64{}
-		chUnattr := 0.0
-		for _, s := range chSamples {
-			if id, ok := heap.Lookup(s.Addr); ok {
-				chByObj[id] += weight
-				totalByObj[id] += weight
-			} else {
-				chUnattr += weight
-				unattr += weight
-			}
+		a.index[ch] = len(a.channels)
+		a.channels = append(a.channels, ch)
+		a.count = append(a.count, 0)
+		a.byObj = append(a.byObj, map[alloc.ObjectID]float64{})
+	}
+	return a
+}
+
+// Add accounts one chunk of samples. Samples off the contended channels are
+// ignored, exactly as Analyze ignores them.
+func (a *CFAccumulator) Add(samples []pebs.Sample) {
+	for i := range samples {
+		s := &samples[i]
+		ch := topology.Channel{Src: s.SrcNode, Dst: s.HomeNode}
+		if s.Level == cache.L1 || s.Level == cache.L2 || s.Level == cache.L3 {
+			ch.Dst = s.SrcNode
 		}
+		idx, ok := a.index[ch]
+		if !ok {
+			continue
+		}
+		a.count[idx]++
+		if id, ok := a.heap.Lookup(s.Addr); ok {
+			a.byObj[idx][id] += a.weight
+			a.totalByObj[id] += a.weight
+		} else {
+			a.unattr += a.weight
+		}
+	}
+}
+
+// Report assembles the accumulated state into the same Report Analyze
+// returns.
+func (a *CFAccumulator) Report() *Report {
+	rep := &Report{
+		Contended:  append([]topology.Channel(nil), a.channels...),
+		PerChannel: make(map[topology.Channel][]ObjectCF),
+	}
+	totalAll := 0.0
+	for i, ch := range a.channels {
+		if a.count[i] == 0 {
+			continue
+		}
+		chTotal := float64(a.count[i]) * a.weight
 		totalAll += chTotal
-		rep.PerChannel[ch] = rank(heap, chByObj, chTotal)
+		rep.PerChannel[ch] = rank(a.heap, a.byObj[i], chTotal)
 	}
 	if totalAll > 0 {
-		rep.Overall = rank(heap, totalByObj, totalAll)
-		rep.UnattributedCF = unattr / totalAll
+		rep.Overall = rank(a.heap, a.totalByObj, totalAll)
+		rep.UnattributedCF = a.unattr / totalAll
 	}
 	return rep
 }

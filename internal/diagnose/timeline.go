@@ -68,6 +68,98 @@ func Timeline(samples []pebs.Sample, n int, weight float64) []Bucket {
 	return out
 }
 
+// TimelineAccumulator is the two-pass streaming form of Timeline. Bucket
+// boundaries need the global time range, so a streaming caller feeds every
+// chunk to Observe first, then replays the recording through Add and reads
+// Buckets. The result is bit-identical to Timeline over the concatenated
+// chunks, while state stays bounded by the bucket count.
+type TimelineAccumulator struct {
+	n          int
+	weight     float64
+	minT, maxT float64
+	span       float64
+	total      int
+	buckets    []Bucket
+	lat        []float64
+}
+
+// NewTimelineAccumulator prepares an n-bucket timeline. weight scales kept
+// samples to true counts; non-positive means 1.
+func NewTimelineAccumulator(n int, weight float64) *TimelineAccumulator {
+	if weight <= 0 {
+		weight = 1
+	}
+	return &TimelineAccumulator{n: n, weight: weight, minT: math.Inf(1), maxT: math.Inf(-1)}
+}
+
+// Observe widens the time range to cover a chunk (pass one).
+func (t *TimelineAccumulator) Observe(samples []pebs.Sample) {
+	t.total += len(samples)
+	for i := range samples {
+		if samples[i].Time < t.minT {
+			t.minT = samples[i].Time
+		}
+		if samples[i].Time > t.maxT {
+			t.maxT = samples[i].Time
+		}
+	}
+}
+
+// Add buckets a chunk (pass two). Chunks must arrive in the same order as
+// they were observed for the per-bucket latency sums to match Timeline bit
+// for bit.
+func (t *TimelineAccumulator) Add(samples []pebs.Sample) {
+	if t.total == 0 || t.n <= 0 {
+		return
+	}
+	if t.buckets == nil {
+		maxT := t.maxT
+		if maxT <= t.minT {
+			maxT = t.minT + 1
+		}
+		t.span = maxT - t.minT
+		t.buckets = make([]Bucket, t.n)
+		t.lat = make([]float64, t.n)
+		for i := range t.buckets {
+			t.buckets[i].Start = t.minT + t.span*float64(i)/float64(t.n)
+			t.buckets[i].End = t.minT + t.span*float64(i+1)/float64(t.n)
+		}
+	}
+	for idx := range samples {
+		s := &samples[idx]
+		i := int(float64(t.n) * (s.Time - t.minT) / t.span)
+		if i >= t.n {
+			i = t.n - 1
+		}
+		t.buckets[i].Samples += t.weight
+		if s.RemoteDRAM() {
+			t.buckets[i].RemoteSamples += t.weight
+			t.lat[i] += s.Latency * t.weight
+		}
+	}
+}
+
+// Buckets finalizes and returns the timeline (nil when no samples were
+// observed, matching Timeline).
+func (t *TimelineAccumulator) Buckets() []Bucket {
+	if t.total == 0 || t.n <= 0 {
+		return nil
+	}
+	if t.buckets == nil {
+		// Observed samples but Add was never called with any: lazily build
+		// empty buckets so the shape still matches Timeline.
+		t.Add(nil)
+	}
+	for i := range t.buckets {
+		if t.buckets[i].RemoteSamples > 0 {
+			t.buckets[i].AvgRemoteLatency = t.lat[i] / t.buckets[i].RemoteSamples
+		} else {
+			t.buckets[i].AvgRemoteLatency = 0
+		}
+	}
+	return t.buckets
+}
+
 // sparkRunes are the eight sparkline levels.
 var sparkRunes = []rune("▁▂▃▄▅▆▇█")
 

@@ -140,83 +140,147 @@ func Extract(samples []pebs.Sample, ch topology.Channel, weight float64) Vector 
 // The output is bit-identical to calling Extract per channel: each
 // accumulator adds the same floats in the same (global sample) order.
 func ChannelVectors(m *topology.Machine, samples []pebs.Sample, weight float64, minSamples int) map[topology.Channel]Vector {
-	if weight <= 0 {
-		weight = 1
-	}
-	nn := m.Nodes()
-	nch := m.NumChannels()
+	acc := NewAccumulator(m)
+	acc.Add(samples)
+	return acc.Vectors(weight, minSamples)
+}
+
+// Accumulator builds Table I channel vectors incrementally — the streaming
+// form of ChannelVectors. Feed it sample chunks in trace order with Add (a
+// block iterator's output, or one whole slice) and finish with Vectors;
+// because every per-socket and per-channel statistic is a running sum, the
+// result is bit-identical to a single ChannelVectors call over the
+// concatenation of the chunks, while peak memory stays O(nodes²) regardless
+// of trace length. An Accumulator is not safe for concurrent use; Reset
+// recycles one between traces without reallocating.
+type Accumulator struct {
+	m  *topology.Machine
+	nn int
 	// Per-source-socket aggregates.
-	batch := make([]float64, nn)
-	latSum := make([]float64, nn)
-	above := make([][5]float64, nn)
-	local := make([]float64, nn)
-	localLat := make([]float64, nn)
-	lfb := make([]float64, nn)
-	lfbLat := make([]float64, nn)
+	batch    []float64
+	latSum   []float64
+	above    [][5]float64
+	local    []float64
+	localLat []float64
+	lfb      []float64
+	lfbLat   []float64
 	// Per directed channel: remote-DRAM terms and the minSamples gate (the
 	// gate mirrors pebs.Associate, which files MEM/LFB samples under their
 	// src→home channel).
-	remote := make([]float64, nch)
-	remoteLat := make([]float64, nch)
-	assoc := make([]int, nch)
-	for _, s := range samples {
+	remote    []float64
+	remoteLat []float64
+	assoc     []int
+}
+
+// NewAccumulator returns an empty accumulator for machine m.
+func NewAccumulator(m *topology.Machine) *Accumulator {
+	nn := m.Nodes()
+	nch := m.NumChannels()
+	return &Accumulator{
+		m: m, nn: nn,
+		batch:  make([]float64, nn),
+		latSum: make([]float64, nn),
+		above:  make([][5]float64, nn),
+		local:  make([]float64, nn), localLat: make([]float64, nn),
+		lfb: make([]float64, nn), lfbLat: make([]float64, nn),
+		remote: make([]float64, nch), remoteLat: make([]float64, nch),
+		assoc: make([]int, nch),
+	}
+}
+
+// Reset clears the running sums so the accumulator can take the next trace.
+func (a *Accumulator) Reset() {
+	for i := range a.batch {
+		a.batch[i], a.latSum[i] = 0, 0
+		a.above[i] = [5]float64{}
+		a.local[i], a.localLat[i] = 0, 0
+		a.lfb[i], a.lfbLat[i] = 0, 0
+	}
+	for i := range a.remote {
+		a.remote[i], a.remoteLat[i], a.assoc[i] = 0, 0, 0
+	}
+}
+
+// Add folds a chunk of samples into the running statistics.
+func (a *Accumulator) Add(samples []pebs.Sample) {
+	nn := a.nn
+	for i := range samples {
+		s := &samples[i]
 		src := int(s.SrcNode)
 		if src < 0 || src >= nn {
 			continue // cannot belong to any channel's source batch
 		}
-		batch[src]++
-		latSum[src] += s.Latency
+		a.batch[src]++
+		a.latSum[src] += s.Latency
 		for i, th := range latencyThresholds {
 			if s.Latency > th {
-				above[src][i]++
+				a.above[src][i]++
 			}
 		}
 		home := int(s.HomeNode)
 		homeValid := home >= 0 && home < nn
 		switch {
 		case s.Level == cache.MEM && homeValid && home != src:
-			remote[src*nn+home]++
-			remoteLat[src*nn+home] += s.Latency
+			a.remote[src*nn+home]++
+			a.remoteLat[src*nn+home] += s.Latency
 		case s.Level == cache.MEM && s.HomeNode == s.SrcNode:
-			local[src]++
-			localLat[src] += s.Latency
+			a.local[src]++
+			a.localLat[src] += s.Latency
 		case s.Level == cache.LFB:
-			lfb[src]++
-			lfbLat[src] += s.Latency
+			a.lfb[src]++
+			a.lfbLat[src] += s.Latency
 		}
 		if (s.Level == cache.MEM || s.Level == cache.LFB) && homeValid {
-			assoc[src*nn+home]++
+			a.assoc[src*nn+home]++
 		}
 	}
+}
 
+// SampleCount reports how many samples have landed in any socket's batch.
+func (a *Accumulator) SampleCount() float64 {
+	n := 0.0
+	for _, b := range a.batch {
+		n += b
+	}
+	return n
+}
+
+// Vectors assembles the per-channel Table I vectors from the running sums.
+// weight scales count features (non-positive means 1); channels whose
+// MEM/LFB sample count is below minSamples are omitted. Vectors does not
+// consume the sums: the accumulator remains usable and appendable.
+func (a *Accumulator) Vectors(weight float64, minSamples int) map[topology.Channel]Vector {
+	if weight <= 0 {
+		weight = 1
+	}
 	out := make(map[topology.Channel]Vector)
-	for _, ch := range m.RemoteChannels() {
-		ci := m.ChannelIndex(ch)
-		if assoc[ci] < minSamples {
+	for _, ch := range a.m.RemoteChannels() {
+		ci := a.m.ChannelIndex(ch)
+		if a.assoc[ci] < minSamples {
 			continue
 		}
 		var v Vector
 		src := int(ch.Src)
-		if batch[src] == 0 {
+		if a.batch[src] == 0 {
 			out[ch] = v
 			continue
 		}
 		for i := 0; i < 5; i++ {
-			v[i] = above[src][i] / batch[src]
+			v[i] = a.above[src][i] / a.batch[src]
 		}
-		v[5] = remote[ci] * weight
-		if remote[ci] > 0 {
-			v[6] = remoteLat[ci] / remote[ci]
+		v[5] = a.remote[ci] * weight
+		if a.remote[ci] > 0 {
+			v[6] = a.remoteLat[ci] / a.remote[ci]
 		}
-		v[7] = local[src] * weight
-		if local[src] > 0 {
-			v[8] = localLat[src] / local[src]
+		v[7] = a.local[src] * weight
+		if a.local[src] > 0 {
+			v[8] = a.localLat[src] / a.local[src]
 		}
-		v[9] = batch[src] * weight
-		v[10] = latSum[src] / batch[src]
-		v[11] = lfb[src] * weight
-		if lfb[src] > 0 {
-			v[12] = lfbLat[src] / lfb[src]
+		v[9] = a.batch[src] * weight
+		v[10] = a.latSum[src] / a.batch[src]
+		v[11] = a.lfb[src] * weight
+		if a.lfb[src] > 0 {
+			v[12] = a.lfbLat[src] / a.lfb[src]
 		}
 		out[ch] = v
 	}

@@ -1,0 +1,548 @@
+package profiledata
+
+// Binary columnar samples format (v3).
+//
+// CSV recordings (v1/v2) cost where it hurts at scale: every field is
+// re-parsed through encoding/csv + strconv, and a 1M-sample trace is tens
+// of megabytes of text. v3 stores the same nine sample fields as packed
+// per-block columns:
+//
+//	header:  magic "DRBWPD3\n", version byte, flags byte,
+//	         weight float64 LE, uvarint total sample count (0 when the
+//	         writer did not know it), level dictionary (count, then
+//	         length-prefixed level names in index order)
+//	body:    blocks until a zero sample count; optionally one flate
+//	         stream when the header flags bit 0 is set
+//	block:   uvarint sampleCount, uvarint payloadLen, payload
+//	payload: time column    tag byte (raw|delta), then either count
+//	                        float64 LE or zigzag-varint deltas of the
+//	                        integral cycle values (running across blocks)
+//	         cpu column     zigzag varint per sample
+//	         thread column  zigzag varint per sample
+//	         addr column    zigzag varint delta per sample (running)
+//	         level column   one dictionary index byte per sample
+//	         latency column tag byte (raw|fixed ×10), then float64s or
+//	                        zigzag-varint deltas of latency*10 (running)
+//	         write column   ceil(count/8) bytes, LSB first
+//	         src column     zigzag varint per sample
+//	         home column    zigzag varint per sample
+//
+// The integer encodings are used only when they are exactly invertible
+// (times integral, latencies on a 0.1-cycle grid — what the simulator and
+// the CSV writer both produce); otherwise the column falls back to raw
+// float64 bits, so any sample list round-trips bit-exactly. The level
+// dictionary makes the format self-describing: indexes are resolved
+// through the recorded names, not through cache.Level values.
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"drbw/internal/cache"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+)
+
+// binaryMagic opens every v3 samples file. No CSV recording can collide:
+// v2 starts with "#drbw-sa", v1 with "time,cpu".
+const binaryMagic = "DRBWPD3\n"
+
+// binaryVersion is the format version the writer emits and the only one
+// the reader accepts.
+const binaryVersion = 3
+
+// flagCompressed marks a flate-compressed block stream.
+const flagCompressed = 1 << 0
+
+// Column encoding tags.
+const (
+	encRaw   = 0 // float64 bits, little endian
+	encDelta = 1 // zigzag varints: integral deltas (time), fixed-point ×10 deltas (latency)
+)
+
+// DefaultBlockSize is the samples-per-block default of WriteSamplesBinary —
+// large enough to amortize per-block overhead, small enough that a
+// streaming reader holds only a few hundred KB per trace.
+const DefaultBlockSize = 8192
+
+// maxBlockSamples bounds the per-block sample count a reader will accept,
+// so a corrupt or malicious count cannot make the decoder allocate an
+// arbitrarily large block.
+const maxBlockSamples = 1 << 20
+
+// maxSampleEncoded is the worst-case encoded bytes per sample (nine
+// columns, all at their widest), used to sanity-check payload lengths.
+const maxSampleEncoded = 80
+
+// levelNames is the dictionary written into the header, indexed by
+// cache.Level. parseLevel inverts it on read.
+var levelNames = []string{
+	cache.L1.String(), cache.L2.String(), cache.L3.String(),
+	cache.LFB.String(), cache.MEM.String(),
+}
+
+// BinaryOptions controls WriteSamplesBinary.
+type BinaryOptions struct {
+	// BlockSize is the samples per block; <= 0 uses DefaultBlockSize.
+	BlockSize int
+	// Compress flate-compresses the block stream. Roughly halves the file
+	// again at a decode-speed cost; the uncompressed form is already
+	// several times smaller than CSV.
+	Compress bool
+}
+
+// WriteSamplesBinary writes samples in the binary columnar v3 format. A
+// non-positive weight is written as 1, mirroring WriteSamples.
+func WriteSamplesBinary(w io.Writer, samples []pebs.Sample, weight float64, opt BinaryOptions) error {
+	if !(weight > 0) {
+		weight = 1
+	}
+	blockSize := opt.BlockSize
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize > maxBlockSamples {
+		blockSize = maxBlockSamples
+	}
+
+	bw := bufio.NewWriter(w)
+	// Header.
+	bw.WriteString(binaryMagic)
+	bw.WriteByte(binaryVersion)
+	flags := byte(0)
+	if opt.Compress {
+		flags |= flagCompressed
+	}
+	bw.WriteByte(flags)
+	var f8 [8]byte
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(weight))
+	bw.Write(f8[:])
+	// Total sample count: lets the reader size its slice once instead of
+	// growing through half a dozen reallocations on a large trace.
+	var cnt [binary.MaxVarintLen64]byte
+	bw.Write(cnt[:binary.PutUvarint(cnt[:], uint64(len(samples)))])
+	bw.WriteByte(byte(len(levelNames)))
+	for _, name := range levelNames {
+		bw.WriteByte(byte(len(name)))
+		bw.WriteString(name)
+	}
+
+	// Body, optionally behind flate.
+	body := io.Writer(bw)
+	var fw *flate.Writer
+	if opt.Compress {
+		var err error
+		if fw, err = flate.NewWriter(bw, flate.BestSpeed); err != nil {
+			return fmt.Errorf("profiledata: %w", err)
+		}
+		body = fw
+	}
+
+	var enc blockEncoder
+	var head [2 * binary.MaxVarintLen64]byte
+	for start := 0; start < len(samples); start += blockSize {
+		end := start + blockSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		block := samples[start:end]
+		payload, err := enc.encode(block)
+		if err != nil {
+			return err
+		}
+		n := binary.PutUvarint(head[:], uint64(len(block)))
+		n += binary.PutUvarint(head[n:], uint64(len(payload)))
+		if _, err := body.Write(head[:n]); err != nil {
+			return fmt.Errorf("profiledata: %w", err)
+		}
+		if _, err := body.Write(payload); err != nil {
+			return fmt.Errorf("profiledata: %w", err)
+		}
+	}
+	// Zero-count terminator.
+	n := binary.PutUvarint(head[:], 0)
+	if _, err := body.Write(head[:n]); err != nil {
+		return fmt.Errorf("profiledata: %w", err)
+	}
+	if fw != nil {
+		if err := fw.Close(); err != nil {
+			return fmt.Errorf("profiledata: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("profiledata: %w", err)
+	}
+	return nil
+}
+
+// blockEncoder carries the running deltas and the scratch buffer across the
+// blocks of one file.
+type blockEncoder struct {
+	prevTime int64  // last encoded integral time
+	prevAddr uint64 // last encoded address
+	prevLat  int64  // last encoded latency, fixed-point ×10
+	buf      []byte
+}
+
+// zigzag maps signed to unsigned for varint encoding.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// integralTime reports whether t encodes exactly as an int64 cycle count.
+func integralTime(t float64) (int64, bool) {
+	if t != math.Trunc(t) || t < -(1<<62) || t > 1<<62 {
+		return 0, false
+	}
+	v := int64(t)
+	return v, float64(v) == t
+}
+
+// fixedLatency reports whether l encodes exactly on the 0.1-cycle grid.
+func fixedLatency(l float64) (int64, bool) {
+	f := math.Round(l * 10)
+	if f < -(1<<62) || f > 1<<62 || math.IsNaN(f) {
+		return 0, false
+	}
+	v := int64(f)
+	return v, float64(v)/10 == l
+}
+
+// encode serializes one block's columns into the reused scratch buffer.
+func (e *blockEncoder) encode(block []pebs.Sample) ([]byte, error) {
+	buf := e.buf[:0]
+	var v8 [binary.MaxVarintLen64]byte
+	putUvarint := func(u uint64) {
+		n := binary.PutUvarint(v8[:], u)
+		buf = append(buf, v8[:n]...)
+	}
+	putFloat := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		buf = append(buf, b[:]...)
+	}
+
+	// time column: delta encoding only if every time in the block is
+	// exactly integral.
+	timesIntegral := true
+	for i := range block {
+		if _, ok := integralTime(block[i].Time); !ok {
+			timesIntegral = false
+			break
+		}
+	}
+	if timesIntegral {
+		buf = append(buf, encDelta)
+		prev := e.prevTime
+		for i := range block {
+			v, _ := integralTime(block[i].Time)
+			putUvarint(zigzag(v - prev))
+			prev = v
+		}
+		e.prevTime = prev
+	} else {
+		buf = append(buf, encRaw)
+		for i := range block {
+			putFloat(block[i].Time)
+		}
+	}
+
+	for i := range block {
+		putUvarint(zigzag(int64(block[i].CPU)))
+	}
+	for i := range block {
+		putUvarint(zigzag(int64(block[i].Thread)))
+	}
+	prevAddr := e.prevAddr
+	for i := range block {
+		putUvarint(zigzag(int64(block[i].Addr - prevAddr)))
+		prevAddr = block[i].Addr
+	}
+	e.prevAddr = prevAddr
+	for i := range block {
+		lvl := int(block[i].Level)
+		if lvl < 0 || lvl >= len(levelNames) {
+			return nil, fmt.Errorf("profiledata: sample has unknown memory level %d", lvl)
+		}
+		buf = append(buf, byte(lvl))
+	}
+
+	// latency column: fixed-point ×10 only if every latency inverts exactly.
+	latFixed := true
+	for i := range block {
+		if _, ok := fixedLatency(block[i].Latency); !ok {
+			latFixed = false
+			break
+		}
+	}
+	if latFixed {
+		buf = append(buf, encDelta)
+		prev := e.prevLat
+		for i := range block {
+			v, _ := fixedLatency(block[i].Latency)
+			putUvarint(zigzag(v - prev))
+			prev = v
+		}
+		e.prevLat = prev
+	} else {
+		buf = append(buf, encRaw)
+		for i := range block {
+			putFloat(block[i].Latency)
+		}
+	}
+
+	// write column, bit-packed LSB first.
+	var bits byte
+	for i := range block {
+		if block[i].Write {
+			bits |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			buf = append(buf, bits)
+			bits = 0
+		}
+	}
+	if len(block)&7 != 0 {
+		buf = append(buf, bits)
+	}
+
+	for i := range block {
+		putUvarint(zigzag(int64(block[i].SrcNode)))
+	}
+	for i := range block {
+		putUvarint(zigzag(int64(block[i].HomeNode)))
+	}
+
+	e.buf = buf
+	return buf, nil
+}
+
+// blockDecoder mirrors blockEncoder on the read side.
+type blockDecoder struct {
+	prevTime int64
+	prevAddr uint64
+	prevLat  int64
+	levels   []cache.Level // dictionary index -> level
+}
+
+// payloadReader walks one block payload with bounds checking.
+type payloadReader struct {
+	buf []byte
+	pos int
+}
+
+var errCorrupt = fmt.Errorf("profiledata: corrupt binary block")
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	// Single-byte fast path: most columns (nodes, levels, cpu, small
+	// deltas) encode in one byte, and this branch keeps the common case
+	// free of the multi-byte loop.
+	if pos := p.pos; pos < len(p.buf) && p.buf[pos] < 0x80 {
+		p.pos = pos + 1
+		return uint64(p.buf[pos]), nil
+	}
+	v, n := binary.Uvarint(p.buf[p.pos:])
+	if n <= 0 {
+		return 0, errCorrupt
+	}
+	p.pos += n
+	return v, nil
+}
+
+func (p *payloadReader) byte() (byte, error) {
+	if p.pos >= len(p.buf) {
+		return 0, errCorrupt
+	}
+	b := p.buf[p.pos]
+	p.pos++
+	return b, nil
+}
+
+func (p *payloadReader) float() (float64, error) {
+	if p.pos+8 > len(p.buf) {
+		return 0, errCorrupt
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(p.buf[p.pos:]))
+	p.pos += 8
+	return v, nil
+}
+
+// decode fills out (already sized to the block's sample count) from one
+// payload.
+func (d *blockDecoder) decode(payload []byte, out []pebs.Sample) error {
+	p := payloadReader{buf: payload}
+
+	tag, err := p.byte()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case encDelta:
+		prev := d.prevTime
+		for i := range out {
+			u, err := p.uvarint()
+			if err != nil {
+				return err
+			}
+			prev += unzigzag(u)
+			out[i].Time = float64(prev)
+		}
+		d.prevTime = prev
+	case encRaw:
+		for i := range out {
+			if out[i].Time, err = p.float(); err != nil {
+				return err
+			}
+		}
+	default:
+		return errCorrupt
+	}
+
+	for i := range out {
+		u, err := p.uvarint()
+		if err != nil {
+			return err
+		}
+		out[i].CPU = topology.CPUID(unzigzag(u))
+	}
+	for i := range out {
+		u, err := p.uvarint()
+		if err != nil {
+			return err
+		}
+		out[i].Thread = int(unzigzag(u))
+	}
+	prevAddr := d.prevAddr
+	for i := range out {
+		u, err := p.uvarint()
+		if err != nil {
+			return err
+		}
+		prevAddr += uint64(unzigzag(u))
+		out[i].Addr = prevAddr
+	}
+	d.prevAddr = prevAddr
+	for i := range out {
+		b, err := p.byte()
+		if err != nil {
+			return err
+		}
+		if int(b) >= len(d.levels) {
+			return fmt.Errorf("profiledata: level index %d outside the %d-entry dictionary", b, len(d.levels))
+		}
+		out[i].Level = d.levels[b]
+	}
+
+	if tag, err = p.byte(); err != nil {
+		return err
+	}
+	switch tag {
+	case encDelta:
+		prev := d.prevLat
+		for i := range out {
+			u, err := p.uvarint()
+			if err != nil {
+				return err
+			}
+			prev += unzigzag(u)
+			out[i].Latency = float64(prev) / 10
+		}
+		d.prevLat = prev
+	case encRaw:
+		for i := range out {
+			if out[i].Latency, err = p.float(); err != nil {
+				return err
+			}
+		}
+	default:
+		return errCorrupt
+	}
+
+	for i := range out {
+		if i&7 == 0 {
+			if _, err = p.byte(); err != nil {
+				return err
+			}
+		}
+		out[i].Write = p.buf[p.pos-1]&(1<<(uint(i)&7)) != 0
+	}
+
+	for i := range out {
+		u, err := p.uvarint()
+		if err != nil {
+			return err
+		}
+		out[i].SrcNode = topology.NodeID(unzigzag(u))
+	}
+	for i := range out {
+		u, err := p.uvarint()
+		if err != nil {
+			return err
+		}
+		out[i].HomeNode = topology.NodeID(unzigzag(u))
+	}
+	if p.pos != len(p.buf) {
+		return fmt.Errorf("profiledata: %d trailing bytes in binary block", len(p.buf)-p.pos)
+	}
+	return nil
+}
+
+// readBinaryHeader parses everything after the magic (which the caller has
+// already consumed) and returns the weight, the total sample count written
+// by the encoder (0 when unknown), the level dictionary, and whether the
+// body is flate-compressed.
+func readBinaryHeader(r *bufio.Reader) (weight float64, total uint64, levels []cache.Level, compressed bool, err error) {
+	version, err := r.ReadByte()
+	if err != nil {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: reading binary header: %w", err)
+	}
+	if version != binaryVersion {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: unsupported binary samples version %d (this reader handles %d)", version, binaryVersion)
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: reading binary header: %w", err)
+	}
+	if flags&^flagCompressed != 0 {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: unknown binary header flags %#x", flags)
+	}
+	var f8 [8]byte
+	if _, err := io.ReadFull(r, f8[:]); err != nil {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: reading binary header: %w", err)
+	}
+	weight = math.Float64frombits(binary.LittleEndian.Uint64(f8[:]))
+	if !(weight > 0) || math.IsInf(weight, 0) {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: binary header weight %v is not positive and finite", weight)
+	}
+	if total, err = binary.ReadUvarint(r); err != nil {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: reading binary header: %w", corruptEOF(err))
+	}
+	nlevels, err := r.ReadByte()
+	if err != nil {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: reading binary header: %w", err)
+	}
+	if nlevels == 0 {
+		return 0, 0, nil, false, fmt.Errorf("profiledata: binary header has an empty level dictionary")
+	}
+	var name [255]byte
+	for i := 0; i < int(nlevels); i++ {
+		n, err := r.ReadByte()
+		if err != nil {
+			return 0, 0, nil, false, fmt.Errorf("profiledata: reading level dictionary: %w", err)
+		}
+		if _, err := io.ReadFull(r, name[:n]); err != nil {
+			return 0, 0, nil, false, fmt.Errorf("profiledata: reading level dictionary: %w", err)
+		}
+		lvl, err := parseLevel(string(name[:n]))
+		if err != nil {
+			return 0, 0, nil, false, fmt.Errorf("profiledata: level dictionary: %w", err)
+		}
+		levels = append(levels, lvl)
+	}
+	return weight, total, levels, flags&flagCompressed != 0, nil
+}

@@ -1,0 +1,348 @@
+package profiledata
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drbw/internal/cache"
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+)
+
+// testTrace generates n samples shaped like real collector output:
+// monotonically increasing integral times, clustered addresses, latencies
+// on the 0.1-cycle grid.
+func testTrace(n int, seed int64) []pebs.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	levels := []cache.Level{cache.L1, cache.L2, cache.L3, cache.LFB, cache.MEM}
+	out := make([]pebs.Sample, n)
+	t := 0.0
+	for i := range out {
+		t += float64(rng.Intn(5000))
+		out[i] = pebs.Sample{
+			Time:     t,
+			CPU:      topology.CPUID(rng.Intn(64)),
+			Thread:   rng.Intn(32),
+			Addr:     0x10000000 + uint64(rng.Intn(1<<26)),
+			Level:    levels[rng.Intn(len(levels))],
+			Latency:  float64(rng.Intn(6000)) / 10,
+			Write:    rng.Intn(3) == 0,
+			SrcNode:  topology.NodeID(rng.Intn(4)),
+			HomeNode: topology.NodeID(rng.Intn(4)),
+		}
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 9, 8192, 20000} {
+		for _, compress := range []bool{false, true} {
+			for _, blockSize := range []int{0, 1, 7, 4096} {
+				samples := testTrace(n, int64(n)+1)
+				if n > 4 {
+					// Force the raw-float fallbacks mid-trace.
+					samples[2].Time = 1234.5
+					samples[3].Latency = math.Pi
+					samples[4].Time = math.Inf(1)
+				}
+				var buf bytes.Buffer
+				opt := BinaryOptions{BlockSize: blockSize, Compress: compress}
+				if err := WriteSamplesBinary(&buf, samples, 3.25, opt); err != nil {
+					t.Fatalf("write n=%d compress=%v block=%d: %v", n, compress, blockSize, err)
+				}
+				got, weight, err := ReadSamples(&buf)
+				if err != nil {
+					t.Fatalf("read n=%d compress=%v block=%d: %v", n, compress, blockSize, err)
+				}
+				if weight != 3.25 {
+					t.Fatalf("weight = %v, want 3.25", weight)
+				}
+				if len(got) != len(samples) {
+					t.Fatalf("n=%d: decoded %d samples", n, len(got))
+				}
+				for i := range samples {
+					if !reflect.DeepEqual(samples[i], got[i]) {
+						t.Fatalf("n=%d compress=%v block=%d sample %d:\n got %+v\nwant %+v",
+							n, compress, blockSize, i, got[i], samples[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryPreservesNaNLatency(t *testing.T) {
+	samples := testTrace(3, 7)
+	samples[1].Latency = math.NaN()
+	var buf bytes.Buffer
+	if err := WriteSamplesBinary(&buf, samples, 1, BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb, wb := math.Float64bits(got[1].Latency), math.Float64bits(samples[1].Latency); gb != wb {
+		t.Fatalf("NaN latency bits changed: %#x != %#x", gb, wb)
+	}
+}
+
+func TestBinaryWeightClampedToOne(t *testing.T) {
+	for _, w := range []float64{0, -3, math.Inf(-1)} {
+		var buf bytes.Buffer
+		if err := WriteSamplesBinary(&buf, testTrace(5, 1), w, BinaryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		_, weight, err := ReadSamples(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weight != 1 {
+			t.Fatalf("weight %v written as %v, want 1", w, weight)
+		}
+	}
+}
+
+// TestBinaryCSVEquivalence is the cross-format property: any sample list
+// the CSV writer can represent round-trips identically through both
+// formats — same samples, same weight.
+func TestBinaryCSVEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		samples := testTrace(997, seed)
+		const weight = 16.5
+
+		var csvBuf, binBuf bytes.Buffer
+		if err := WriteSamples(&csvBuf, samples, weight); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteSamplesBinary(&binBuf, samples, weight, BinaryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+
+		fromCSV, wc, err := ReadSamples(&csvBuf)
+		if err != nil {
+			t.Fatalf("csv read: %v", err)
+		}
+		fromBin, wb, err := ReadSamples(&binBuf)
+		if err != nil {
+			t.Fatalf("binary read: %v", err)
+		}
+		if wc != weight || wb != weight {
+			t.Fatalf("weights: csv %v, binary %v, want %v", wc, wb, weight)
+		}
+		if !reflect.DeepEqual(fromCSV, fromBin) {
+			t.Fatalf("seed %d: csv and binary decode differently", seed)
+		}
+		if !reflect.DeepEqual(fromBin, samples) {
+			t.Fatalf("seed %d: binary decode differs from the original", seed)
+		}
+	}
+}
+
+// TestBinarySmallerThanCSV pins the acceptance bound: the columnar file is
+// at least 2x smaller than the CSV on a realistic trace, and flate shrinks
+// it further.
+func TestBinarySmallerThanCSV(t *testing.T) {
+	samples := testTrace(50000, 42)
+	var csvBuf, binBuf, flateBuf bytes.Buffer
+	if err := WriteSamples(&csvBuf, samples, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSamplesBinary(&binBuf, samples, 2, BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSamplesBinary(&flateBuf, samples, 2, BinaryOptions{Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len()*2 > csvBuf.Len() {
+		t.Fatalf("binary %d bytes vs csv %d bytes: less than 2x smaller", binBuf.Len(), csvBuf.Len())
+	}
+	if flateBuf.Len() >= binBuf.Len() {
+		t.Fatalf("flate %d bytes >= uncompressed binary %d bytes", flateBuf.Len(), binBuf.Len())
+	}
+}
+
+func TestSampleReaderFormats(t *testing.T) {
+	samples := testTrace(10, 3)
+	var v2, bin bytes.Buffer
+	if err := WriteSamples(&v2, samples, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSamplesBinary(&bin, samples, 2, BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.SplitN(v2.String(), "\n", 2)[1] // drop the meta row
+
+	cases := []struct {
+		name, format string
+		data         string
+		weight       float64
+	}{
+		{"v1", FormatCSVv1, v1, 1},
+		{"v2", FormatCSVv2, v2.String(), 2},
+		{"binary", FormatBinaryV3, bin.String(), 2},
+	}
+	for _, tc := range cases {
+		sr, err := NewSampleReader(strings.NewReader(tc.data))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if sr.Format() != tc.format {
+			t.Errorf("%s: format %q, want %q", tc.name, sr.Format(), tc.format)
+		}
+		if sr.Weight() != tc.weight {
+			t.Errorf("%s: weight %v, want %v", tc.name, sr.Weight(), tc.weight)
+		}
+		var total int
+		for {
+			block, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			total += len(block)
+		}
+		if total != len(samples) {
+			t.Errorf("%s: streamed %d samples, want %d", tc.name, total, len(samples))
+		}
+	}
+}
+
+// binaryWithBlockHeader builds a valid header followed by a hand-written
+// block header, for decoder hardening tests.
+func binaryWithBlockHeader(count, payloadLen uint64, payload []byte) []byte {
+	var buf bytes.Buffer
+	WriteSamplesBinary(&buf, nil, 1, BinaryOptions{}) // header + terminator
+	data := buf.Bytes()
+	data = data[:len(data)-1] // drop the zero-count terminator
+	var v8 [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(v8[:], count)
+	data = append(data, v8[:n]...)
+	n = binary.PutUvarint(v8[:], payloadLen)
+	data = append(data, v8[:n]...)
+	return append(data, payload...)
+}
+
+func TestBinaryReadErrors(t *testing.T) {
+	var valid bytes.Buffer
+	if err := WriteSamplesBinary(&valid, testTrace(100, 9), 2, BinaryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	vb := valid.Bytes()
+
+	cases := map[string][]byte{
+		"magic only":           []byte(binaryMagic),
+		"bad version":          append([]byte(binaryMagic), 9),
+		"unknown flags":        append([]byte(binaryMagic), binaryVersion, 0xfe),
+		"truncated weight":     append([]byte(binaryMagic), binaryVersion, 0, 1, 2, 3),
+		"zero weight":          append([]byte(binaryMagic), binaryVersion, 0, 0, 0, 0, 0, 0, 0, 0, 0),
+		"empty dictionary":     binaryHeaderWithDict(nil),
+		"unknown level name":   binaryHeaderWithDict([]string{"L9"}),
+		"truncated dictionary": append(binaryHeaderWithDict(nil)[:len(binaryMagic)+11], 2, 2, 'L'),
+		"missing terminator":   vb[:len(vb)-1],
+		"lying sample count":   lyingCount(vb),
+		"truncated block":      vb[:len(vb)/2],
+		"trailing payload byte": binaryWithBlockHeader(1, 11,
+			[]byte{encDelta, 0, 0, 0, 0, 0, encDelta, 0, 0, 0, 0}),
+		"bad time tag": binaryWithBlockHeader(1, 10,
+			[]byte{7, 0, 0, 0, 0, 0, encDelta, 0, 0, 0}),
+		"level outside dictionary": binaryWithBlockHeader(1, 10,
+			[]byte{encDelta, 0, 0, 0, 0, 99, encDelta, 0, 0, 0}),
+		"count over limit":    binaryWithBlockHeader(maxBlockSamples+1, 8*(maxBlockSamples+1), nil),
+		"payload implausible": binaryWithBlockHeader(8, 3, []byte{1, 2, 3}),
+		"payload oversized":   binaryWithBlockHeader(1, maxSampleEncoded*2+32, nil),
+	}
+	for name, data := range cases {
+		if _, _, err := ReadSamples(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+// lyingCount rewrites a valid 100-sample file's header count hint to 99,
+// which the reader must reject at the terminator.
+func lyingCount(valid []byte) []byte {
+	data := append([]byte(nil), valid...)
+	off := len(binaryMagic) + 1 + 1 + 8 // version, flags, weight
+	if data[off] != 100 {
+		panic("lyingCount: expected a one-byte count of 100")
+	}
+	data[off] = 99
+	return data
+}
+
+// binaryHeaderWithDict builds magic+version+flags+weight+count plus an
+// arbitrary level dictionary.
+func binaryHeaderWithDict(names []string) []byte {
+	data := append([]byte(binaryMagic), binaryVersion, 0)
+	var f8 [8]byte
+	binary.LittleEndian.PutUint64(f8[:], math.Float64bits(1))
+	data = append(data, f8[:]...)
+	data = append(data, 0) // sample-count hint: unknown
+	data = append(data, byte(len(names)))
+	for _, n := range names {
+		data = append(data, byte(len(n)))
+		data = append(data, n...)
+	}
+	return data
+}
+
+// TestBinaryTruncationNeverOverAllocates feeds every prefix of a valid
+// file to the reader: all must fail cleanly (or succeed, for the full
+// file) without panicking, and a truncated prefix must never decode more
+// samples than the bytes it contains can plausibly hold.
+func TestBinaryTruncationNeverOverAllocates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSamplesBinary(&buf, testTrace(500, 11), 2, BinaryOptions{BlockSize: 64}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		samples, _, err := ReadSamples(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes read without error", cut, len(data))
+		}
+		if len(samples) != 0 {
+			t.Fatalf("prefix of %d bytes returned %d samples alongside the error", cut, len(samples))
+		}
+	}
+}
+
+// TestSampleReaderBoundedAllocs pins the streaming property: re-reading a
+// multi-block trace through shared Buffers costs a small constant number
+// of allocations — the per-block sample and payload buffers are reused, so
+// decode memory is bounded by the block size, not the trace.
+func TestSampleReaderBoundedAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSamplesBinary(&buf, testTrace(32*1024, 13), 2, BinaryOptions{BlockSize: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	bufs := &Buffers{}
+	drain := func() {
+		sr, err := NewSampleReaderBuffers(bytes.NewReader(data), bufs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, err := sr.Next(); err == io.EOF {
+				return
+			} else if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drain() // warm the shared buffers
+	allocs := testing.AllocsPerRun(5, drain)
+	if allocs > 16 {
+		t.Fatalf("streaming a 32-block trace with warm buffers cost %.0f allocs, want <= 16", allocs)
+	}
+}

@@ -1,0 +1,87 @@
+package profiledata
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"drbw/internal/pebs"
+)
+
+// FuzzReadSamples drives the autodetecting decoder — CSV v1/v2 and binary
+// v3 — with arbitrary bytes. Malformed or truncated input must come back
+// as an error, never a panic, and anything that does decode must re-encode
+// and decode to the same samples (the decoder accepts nothing it cannot
+// represent).
+func FuzzReadSamples(f *testing.F) {
+	samples := testTrace(300, 21)
+
+	var v2 bytes.Buffer
+	if err := WriteSamples(&v2, samples, 2.5); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[bytes.IndexByte(v2.Bytes(), '\n')+1:]) // v1: no meta row
+	f.Add(v2.Bytes()[:v2.Len()/2])                          // truncated CSV
+
+	for _, opt := range []BinaryOptions{{}, {Compress: true}, {BlockSize: 16}} {
+		var bin bytes.Buffer
+		if err := WriteSamplesBinary(&bin, samples, 2.5, opt); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bin.Bytes())
+		f.Add(bin.Bytes()[:bin.Len()/2]) // truncated binary
+		f.Add(bin.Bytes()[:12])          // truncated header
+	}
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte("time,cpu\n1,2\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, weight, err := ReadSamples(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !(weight > 0) {
+			t.Fatalf("decoded weight %v is not positive", weight)
+		}
+		// Round-trip: whatever decoded must survive binary re-encoding
+		// bit for bit.
+		var buf bytes.Buffer
+		if err := WriteSamplesBinary(&buf, got, weight, BinaryOptions{BlockSize: 32}); err != nil {
+			t.Fatalf("re-encode of decoded samples failed: %v", err)
+		}
+		again, w2, err := ReadSamples(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if w2 != weight {
+			t.Fatalf("weight changed across round-trip: %v != %v", w2, weight)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("sample count changed across round-trip: %d != %d", len(again), len(got))
+		}
+		for i := range got {
+			if !sameSample(again[i], got[i]) {
+				t.Fatalf("sample %d changed across round-trip", i)
+			}
+		}
+	})
+}
+
+// sameSample is bit-level equality: NaN times or latencies (CSV accepts
+// "NaN") still count as equal when their bits match.
+func sameSample(a, b pebs.Sample) bool {
+	a.Time, b.Time = float64frombitsNorm(a.Time), float64frombitsNorm(b.Time)
+	a.Latency, b.Latency = float64frombitsNorm(a.Latency), float64frombitsNorm(b.Latency)
+	return reflect.DeepEqual(a, b)
+}
+
+// float64frombitsNorm collapses every NaN payload to zero so DeepEqual can
+// compare the rest of the struct.
+func float64frombitsNorm(f float64) float64 {
+	if f != f {
+		return 0
+	}
+	return f
+}

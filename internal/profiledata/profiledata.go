@@ -4,26 +4,44 @@
 // the recording as many times as needed (or feed in samples collected by
 // another tool entirely, e.g. converted `perf mem` output).
 //
-// Formats are line-oriented CSV with a header, chosen so recordings can be
+// Two sample formats are supported, autodetected on read, so old
+// recordings and shell-produced files keep working while large traces get
+// a compact encoding:
+//
+// CSV (v1/v2) is line-oriented with a header, chosen so recordings can be
 // produced and consumed by shell tooling:
 //
 //	samples:  #drbw-samples,v2,weight,<w>
 //	          time,cpu,thread,addr,level,latency,write,src_node,home_node
 //	objects:  id,name,func,file,line,base,size
 //
-// The samples file opens with a meta row naming the format version and the
-// collector weight — the factor that scales the kept samples back to true
-// counts when the collector bounded its memory (see pebs.Collector.Weight).
-// Without it, a reloaded trace silently under-counts every count feature.
-// v1 files, which lack the meta row and start directly with the header,
-// are still read (their weight is taken as 1, matching collections that
-// kept every sample).
+// The v2 samples file opens with a meta row naming the format version and
+// the collector weight — the factor that scales the kept samples back to
+// true counts when the collector bounded its memory (see
+// pebs.Collector.Weight). Without it, a reloaded trace silently
+// under-counts every count feature. v1 files, which lack the meta row and
+// start directly with the header, are still read (their weight is taken as
+// 1, matching collections that kept every sample). Addresses and bases are
+// hexadecimal with an 0x prefix; levels are the strings L1, L2, L3, LFB,
+// MEM. Source and home node are recorded at collection time (the profiler
+// resolves them via the topology and the page tables while the process is
+// alive; they cannot be reconstructed afterwards).
 //
-// Addresses and bases are hexadecimal with an 0x prefix; levels are the
-// strings L1, L2, L3, LFB, MEM. Source and home node are recorded at
-// collection time (the profiler resolves them via the topology and the
-// page tables while the process is alive; they cannot be reconstructed
-// afterwards).
+// Binary columnar (v3) is the compact format for large traces, written by
+// WriteSamplesBinary and recognized on read by its "DRBWPD3\n" magic. The
+// header carries the version, a flags byte (bit 0: flate-compressed body),
+// the collector weight, and a dictionary of level names; the body is a
+// sequence of blocks, each a sample count, a payload length, and a payload
+// holding one column per field. Timestamps and addresses are delta-encoded
+// zigzag varints with deltas running across block boundaries; latencies
+// use fixed-point ×10 varints; levels are single dictionary indices; the
+// write flags are packed eight to a byte. Columns that a block cannot
+// represent losslessly (fractional timestamps, latencies that are not
+// exact tenths) fall back to raw float64 bits for that block, so decoding
+// always reproduces the samples bit for bit. A zero sample count
+// terminates the body. The block structure is what makes streaming decode
+// possible: SampleReader yields one block at a time and analysis memory
+// stays bounded by the block size regardless of trace length.
 package profiledata
 
 import (
@@ -36,7 +54,6 @@ import (
 	"drbw/internal/alloc"
 	"drbw/internal/cache"
 	"drbw/internal/pebs"
-	"drbw/internal/topology"
 )
 
 var sampleHeader = []string{"time", "cpu", "thread", "addr", "level", "latency", "write", "src_node", "home_node"}
@@ -123,82 +140,19 @@ func readMeta(rec []string) (float64, error) {
 	return w, nil
 }
 
-// ReadSamples parses a CSV sample recording and returns the samples plus
-// the collector weight. v1 recordings (no meta row) read with weight 1.
+// ReadSamples parses a sample recording — binary v3 or CSV v1/v2, detected
+// from the first bytes — and returns the samples plus the collector weight.
+// v1 recordings (no meta row) read with weight 1.
 func ReadSamples(r io.Reader) ([]pebs.Sample, float64, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1 // the meta row is shorter than the data rows
-	header, err := cr.Read()
+	sr, err := NewSampleReader(r)
 	if err != nil {
-		return nil, 0, fmt.Errorf("profiledata: reading header: %w", err)
+		return nil, 0, err
 	}
-	weight := 1.0
-	line := 2
-	if len(header) > 0 && header[0] == metaTag {
-		if weight, err = readMeta(header); err != nil {
-			return nil, 0, err
-		}
-		if header, err = cr.Read(); err != nil {
-			return nil, 0, fmt.Errorf("profiledata: reading header: %w", err)
-		}
-		line = 3
+	out, err := sr.appendRemaining(nil)
+	if err != nil {
+		return nil, 0, err
 	}
-	if len(header) != len(sampleHeader) {
-		return nil, 0, fmt.Errorf("profiledata: header has %d columns, want %d", len(header), len(sampleHeader))
-	}
-	for i, h := range sampleHeader {
-		if header[i] != h {
-			return nil, 0, fmt.Errorf("profiledata: header column %d is %q, want %q", i, header[i], h)
-		}
-	}
-	var out []pebs.Sample
-	for ; ; line++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d: %w", line, err)
-		}
-		if len(rec) != len(sampleHeader) {
-			return nil, 0, fmt.Errorf("profiledata: line %d has %d fields, want %d", line, len(rec), len(sampleHeader))
-		}
-		var s pebs.Sample
-		if s.Time, err = strconv.ParseFloat(rec[0], 64); err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d time: %w", line, err)
-		}
-		cpu, err := strconv.Atoi(rec[1])
-		if err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d cpu: %w", line, err)
-		}
-		s.CPU = topology.CPUID(cpu)
-		if s.Thread, err = strconv.Atoi(rec[2]); err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d thread: %w", line, err)
-		}
-		if s.Addr, err = parseAddr(rec[3]); err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d addr: %w", line, err)
-		}
-		if s.Level, err = parseLevel(rec[4]); err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d: %w", line, err)
-		}
-		if s.Latency, err = strconv.ParseFloat(rec[5], 64); err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d latency: %w", line, err)
-		}
-		if s.Write, err = strconv.ParseBool(rec[6]); err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d write: %w", line, err)
-		}
-		src, err := strconv.Atoi(rec[7])
-		if err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d src_node: %w", line, err)
-		}
-		home, err := strconv.Atoi(rec[8])
-		if err != nil {
-			return nil, 0, fmt.Errorf("profiledata: line %d home_node: %w", line, err)
-		}
-		s.SrcNode, s.HomeNode = topology.NodeID(src), topology.NodeID(home)
-		out = append(out, s)
-	}
-	return out, weight, nil
+	return out, sr.Weight(), nil
 }
 
 var objectHeader = []string{"id", "name", "func", "file", "line", "base", "size"}

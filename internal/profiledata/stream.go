@@ -1,0 +1,316 @@
+package profiledata
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"slices"
+	"strconv"
+
+	"drbw/internal/pebs"
+	"drbw/internal/topology"
+)
+
+// Buffers is reusable decode scratch. A batch pipeline that opens many
+// recordings hands the same Buffers to each successive SampleReader, so the
+// per-block sample slice and payload buffer are allocated once per worker
+// instead of once per trace. A Buffers must not back two live readers at
+// once.
+type Buffers struct {
+	samples []pebs.Sample
+	payload []byte
+}
+
+// SampleReader streams a sample recording block by block, autodetecting the
+// format: binary columnar v3 by its magic, otherwise CSV (v2 with the meta
+// row, or v1 starting directly at the header). Weight is available as soon
+// as the reader is constructed; Next yields chunks of samples in trace
+// order without ever materializing the whole trace, so analysis memory is
+// bounded by the block size however long the recording is.
+type SampleReader struct {
+	weight float64
+	format string
+	bufs   *Buffers
+
+	// Binary state.
+	body    *bufio.Reader // header-stripped body, possibly behind flate
+	dec     blockDecoder
+	total   uint64 // header sample-count hint; 0 when the writer didn't know
+	decoded uint64 // samples decoded so far, checked against total at the end
+
+	// CSV state.
+	cr   *csv.Reader
+	line int
+
+	done bool
+}
+
+// csvBlockSize is the samples per Next chunk when streaming CSV.
+const csvBlockSize = 8192
+
+// Format names for SampleReader.Format.
+const (
+	FormatCSVv1    = "csv-v1"
+	FormatCSVv2    = "csv-v2"
+	FormatBinaryV3 = "binary-v3"
+)
+
+// NewSampleReader opens a recording for streaming, autodetecting the
+// format from the first bytes.
+func NewSampleReader(r io.Reader) (*SampleReader, error) {
+	return NewSampleReaderBuffers(r, nil)
+}
+
+// NewSampleReaderBuffers is NewSampleReader with caller-owned decode
+// scratch; pass nil to let the reader allocate its own.
+func NewSampleReaderBuffers(r io.Reader, bufs *Buffers) (*SampleReader, error) {
+	if bufs == nil {
+		bufs = &Buffers{}
+	}
+	br := bufio.NewReaderSize(r, 64<<10)
+	head, err := br.Peek(len(binaryMagic))
+	if err == nil && string(head) == binaryMagic {
+		br.Discard(len(binaryMagic))
+		weight, total, levels, compressed, err := readBinaryHeader(br)
+		if err != nil {
+			return nil, err
+		}
+		sr := &SampleReader{weight: weight, format: FormatBinaryV3, bufs: bufs, total: total}
+		sr.dec.levels = levels
+		if compressed {
+			sr.body = bufio.NewReaderSize(flate.NewReader(br), 64<<10)
+		} else {
+			sr.body = br
+		}
+		return sr, nil
+	}
+	// CSV v1/v2. csv.Reader does its own buffering on top of br, which
+	// still holds the peeked bytes.
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = -1 // the meta row is shorter than the data rows
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("profiledata: reading header: %w", err)
+	}
+	sr := &SampleReader{weight: 1, format: FormatCSVv1, bufs: bufs, cr: cr, line: 2}
+	if len(header) > 0 && header[0] == metaTag {
+		if sr.weight, err = readMeta(header); err != nil {
+			return nil, err
+		}
+		if header, err = cr.Read(); err != nil {
+			return nil, fmt.Errorf("profiledata: reading header: %w", err)
+		}
+		sr.format = FormatCSVv2
+		sr.line = 3
+	}
+	if len(header) != len(sampleHeader) {
+		return nil, fmt.Errorf("profiledata: header has %d columns, want %d", len(header), len(sampleHeader))
+	}
+	for i, h := range sampleHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("profiledata: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	return sr, nil
+}
+
+// Weight returns the collector weight recorded in the file (1 for v1).
+func (sr *SampleReader) Weight() float64 { return sr.weight }
+
+// Format names the detected recording format: FormatCSVv1, FormatCSVv2 or
+// FormatBinaryV3.
+func (sr *SampleReader) Format() string { return sr.format }
+
+// Next returns the next chunk of samples, or (nil, io.EOF) when the
+// recording is exhausted. The returned slice is reused by the following
+// Next call; callers that retain samples must copy them out.
+func (sr *SampleReader) Next() ([]pebs.Sample, error) {
+	if sr.done {
+		return nil, io.EOF
+	}
+	if sr.cr != nil {
+		return sr.nextCSV()
+	}
+	return sr.nextBinary()
+}
+
+// grow returns the shared sample buffer resized to n.
+func (sr *SampleReader) grow(n int) []pebs.Sample {
+	if cap(sr.bufs.samples) < n {
+		sr.bufs.samples = make([]pebs.Sample, n)
+	}
+	return sr.bufs.samples[:n]
+}
+
+func (sr *SampleReader) nextBinary() ([]pebs.Sample, error) {
+	count, payload, err := sr.readBlock()
+	if err != nil {
+		return nil, err
+	}
+	out := sr.grow(count)
+	if err := sr.dec.decode(payload, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readBlock reads the next block header and payload into the shared payload
+// buffer, returning io.EOF at the zero-count terminator.
+func (sr *SampleReader) readBlock() (int, []byte, error) {
+	count, err := binary.ReadUvarint(sr.body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("profiledata: reading block header: %w", corruptEOF(err))
+	}
+	if count == 0 {
+		sr.done = true
+		if sr.total != 0 && sr.decoded != sr.total {
+			return 0, nil, fmt.Errorf("profiledata: recording holds %d samples but its header claims %d", sr.decoded, sr.total)
+		}
+		return 0, nil, io.EOF
+	}
+	if count > maxBlockSamples {
+		return 0, nil, fmt.Errorf("profiledata: block claims %d samples (limit %d)", count, maxBlockSamples)
+	}
+	plen, err := binary.ReadUvarint(sr.body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("profiledata: reading block header: %w", corruptEOF(err))
+	}
+	// A block's payload is at least ~7 and at most maxSampleEncoded bytes
+	// per sample; anything outside is corrupt. The lower bound also means a
+	// huge claimed count needs a proportionally huge payload actually
+	// present in the file before the sample buffer below is allocated, so
+	// truncated or malicious headers cannot force large allocations.
+	if plen < 7*count || plen > maxSampleEncoded*count+16 {
+		return 0, nil, fmt.Errorf("profiledata: block payload of %d bytes is implausible for %d samples", plen, count)
+	}
+	if cap(sr.bufs.payload) < int(plen) {
+		sr.bufs.payload = make([]byte, plen)
+	}
+	payload := sr.bufs.payload[:plen]
+	if _, err := io.ReadFull(sr.body, payload); err != nil {
+		return 0, nil, fmt.Errorf("profiledata: reading block payload: %w", corruptEOF(err))
+	}
+	sr.decoded += count
+	return int(count), payload, nil
+}
+
+// appendRemaining decodes every remaining block directly onto dst. On the
+// binary path this skips Next's intermediate block buffer — each block is
+// decoded in place at the tail of the destination slice — which is what
+// makes whole-trace loads cheap; streaming callers should keep using Next.
+func (sr *SampleReader) appendRemaining(dst []pebs.Sample) ([]pebs.Sample, error) {
+	if sr.cr != nil || sr.done {
+		for {
+			block, err := sr.Next()
+			if err == io.EOF {
+				return dst, nil
+			}
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, block...)
+		}
+	}
+	// The header's count hint sizes the slice in one allocation. It is
+	// clamped like a block count so a forged header cannot demand more
+	// memory than the existing per-block bound already allows; a hint the
+	// blocks don't live up to is rejected at the terminator.
+	if hint := sr.total; hint > 0 && dst == nil {
+		if hint > maxBlockSamples {
+			hint = maxBlockSamples
+		}
+		dst = make([]pebs.Sample, 0, hint)
+	}
+	for {
+		count, payload, err := sr.readBlock()
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+		n := len(dst)
+		dst = slices.Grow(dst, count)[:n+count]
+		if err := sr.dec.decode(payload, dst[n:]); err != nil {
+			return dst[:n], err
+		}
+	}
+}
+
+// corruptEOF upgrades a bare EOF inside a structure to ErrUnexpectedEOF so
+// truncation is reported as corruption, not as a clean end.
+func corruptEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func (sr *SampleReader) nextCSV() ([]pebs.Sample, error) {
+	out := sr.grow(csvBlockSize)[:0]
+	for len(out) < csvBlockSize {
+		rec, err := sr.cr.Read()
+		if err == io.EOF {
+			sr.done = true
+			if len(out) == 0 {
+				return nil, io.EOF
+			}
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profiledata: line %d: %w", sr.line, err)
+		}
+		if len(rec) != len(sampleHeader) {
+			return nil, fmt.Errorf("profiledata: line %d has %d fields, want %d", sr.line, len(rec), len(sampleHeader))
+		}
+		var s pebs.Sample
+		if err := parseSampleRow(rec, sr.line, &s); err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		sr.line++
+	}
+	return out, nil
+}
+
+// parseSampleRow parses one CSV data row into s.
+func parseSampleRow(rec []string, line int, s *pebs.Sample) error {
+	var err error
+	if s.Time, err = strconv.ParseFloat(rec[0], 64); err != nil {
+		return fmt.Errorf("profiledata: line %d time: %w", line, err)
+	}
+	cpu, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return fmt.Errorf("profiledata: line %d cpu: %w", line, err)
+	}
+	s.CPU = topology.CPUID(cpu)
+	if s.Thread, err = strconv.Atoi(rec[2]); err != nil {
+		return fmt.Errorf("profiledata: line %d thread: %w", line, err)
+	}
+	if s.Addr, err = parseAddr(rec[3]); err != nil {
+		return fmt.Errorf("profiledata: line %d addr: %w", line, err)
+	}
+	if s.Level, err = parseLevel(rec[4]); err != nil {
+		return fmt.Errorf("profiledata: line %d: %w", line, err)
+	}
+	if s.Latency, err = strconv.ParseFloat(rec[5], 64); err != nil {
+		return fmt.Errorf("profiledata: line %d latency: %w", line, err)
+	}
+	if s.Write, err = strconv.ParseBool(rec[6]); err != nil {
+		return fmt.Errorf("profiledata: line %d write: %w", line, err)
+	}
+	src, err := strconv.Atoi(rec[7])
+	if err != nil {
+		return fmt.Errorf("profiledata: line %d src_node: %w", line, err)
+	}
+	home, err := strconv.Atoi(rec[8])
+	if err != nil {
+		return fmt.Errorf("profiledata: line %d home_node: %w", line, err)
+	}
+	s.SrcNode, s.HomeNode = topology.NodeID(src), topology.NodeID(home)
+	return nil
+}

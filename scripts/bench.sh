@@ -14,18 +14,28 @@
 #                     serial/parallel wall-clock ratio falls below this
 #                     value; skipped with a warning on hosts with fewer
 #                     than 4 cores, where no speedup is physically possible
+#   MAX_BATCH_ALLOC_RATIO when set, fail if BenchmarkBatchEvaluation's
+#                     parallel variant allocates more than this multiple of
+#                     the serial variant's allocs/op (the per-worker scratch
+#                     reuse gate; core-count independent)
+#   MIN_DECODE_SPEEDUP when set, fail if the binary trace codec decodes the
+#                     1M-sample bench trace less than this many times faster
+#                     than CSV (BenchmarkTraceDecode csv/binary ns ratio;
+#                     core-count independent)
 #
-# The four benchmarks tracked here cover the simulation hot path end to end:
-# a full contended engine run, the batch evaluation sweep built on it, the
-# raw cache-hierarchy access loop, and trace generation. The committed
-# BENCH_engine.json records the trajectory; the "baseline" block holds the
-# pre-fast-path numbers the 2x acceptance bar is measured against.
+# The benchmarks tracked here cover the simulation hot path end to end plus
+# the offline trace pipeline: a full contended engine run, the batch
+# evaluation sweep built on it, the raw cache-hierarchy access loop, trace
+# generation, the CSV-vs-binary trace decode pair, and the slice-vs-stream
+# analysis of a 1M-sample recording. The committed BENCH_engine.json records
+# the trajectory; the "baseline" block holds the pre-fast-path numbers the
+# 2x acceptance bar is measured against.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_engine.json}
 benchtime=${BENCHTIME:-2s}
-pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration)$'
+pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -40,9 +50,10 @@ awk -v out="$out" -v cores="$cores" '
     sub(/-[0-9]+$/, "", name)
     ns = ""; bytes = ""; allocs = ""
     for (i = 2; i <= NF; i++) {
-        if ($i == "ns/op")     ns = $(i-1)
-        if ($i == "B/op")      bytes = $(i-1)
-        if ($i == "allocs/op") allocs = $(i-1)
+        if ($i == "ns/op")      ns = $(i-1)
+        if ($i == "B/op")       bytes = $(i-1)
+        if ($i == "allocs/op")  allocs = $(i-1)
+        if ($i == "csv-size-x") sizeratio = $(i-1)
     }
     names[++n] = name
     nsv[name] = ns; bv[name] = bytes; av[name] = allocs
@@ -71,6 +82,24 @@ END {
     }
     if (w1 != "" && wm != "" && wm + 0 > 0) {
         printf "%s\"window\": %.2f", sep, w1 / wm >> out
+    }
+    printf "},\n" >> out
+    # trace_codec: binary-vs-CSV decode speedup and file-size ratio on the
+    # 1M-sample bench trace, plus the slice-vs-stream analysis ratio.
+    dc = nsv["BenchmarkTraceDecode/csv"]
+    db = nsv["BenchmarkTraceDecode/binary"]
+    as = nsv["BenchmarkAnalyzeTrace/slice"]
+    at = nsv["BenchmarkAnalyzeTrace/stream"]
+    printf "  \"trace_codec\": {" >> out
+    sep = ""
+    if (dc != "" && db != "" && db + 0 > 0) {
+        printf "\"decode_speedup\": %.2f", dc / db >> out; sep = ", "
+    }
+    if (sizeratio != "") {
+        printf "%s\"csv_size_ratio\": %s", sep, sizeratio >> out; sep = ", "
+    }
+    if (as != "" && at != "" && at + 0 > 0) {
+        printf "%s\"stream_vs_slice\": %.2f", sep, as / at >> out
     }
     printf "},\n" >> out
     printf "  \"benchmarks\": {\n" >> out
@@ -123,4 +152,38 @@ if [ -n "${MIN_BATCH_SPEEDUP:-}" ]; then
         fi
         echo "speedup gate: batch speedup ${speedup}x >= ${MIN_BATCH_SPEEDUP}x"
     fi
+fi
+
+if [ -n "${MAX_BATCH_ALLOC_RATIO:-}" ]; then
+    ratio=$(awk '
+    /^BenchmarkBatchEvaluation\/serial/   { for (i = 2; i <= NF; i++) if ($i == "allocs/op") s = $(i-1) }
+    /^BenchmarkBatchEvaluation\/parallel/ { for (i = 2; i <= NF; i++) if ($i == "allocs/op") p = $(i-1) }
+    END { if (s != "" && p != "" && s + 0 > 0) printf "%.3f", p / s }
+    ' "$raw")
+    if [ -z "$ratio" ]; then
+        echo "alloc-ratio gate: BenchmarkBatchEvaluation serial/parallel allocs not found in output" >&2
+        exit 1
+    fi
+    if awk -v r="$ratio" -v max="$MAX_BATCH_ALLOC_RATIO" 'BEGIN { exit !(r > max) }'; then
+        echo "alloc-ratio gate: parallel batch allocates ${ratio}x the serial sweep (limit ${MAX_BATCH_ALLOC_RATIO}x)" >&2
+        exit 1
+    fi
+    echo "alloc-ratio gate: parallel/serial allocs ${ratio}x <= ${MAX_BATCH_ALLOC_RATIO}x"
+fi
+
+if [ -n "${MIN_DECODE_SPEEDUP:-}" ]; then
+    dspeed=$(awk '
+    /^BenchmarkTraceDecode\/csv/    { for (i = 2; i <= NF; i++) if ($i == "ns/op") c = $(i-1) }
+    /^BenchmarkTraceDecode\/binary/ { for (i = 2; i <= NF; i++) if ($i == "ns/op") b = $(i-1) }
+    END { if (c != "" && b != "" && b + 0 > 0) printf "%.2f", c / b }
+    ' "$raw")
+    if [ -z "$dspeed" ]; then
+        echo "decode gate: BenchmarkTraceDecode csv/binary not found in output" >&2
+        exit 1
+    fi
+    if awk -v s="$dspeed" -v min="$MIN_DECODE_SPEEDUP" 'BEGIN { exit !(s < min) }'; then
+        echo "decode gate: binary decode ${dspeed}x faster than CSV, below minimum ${MIN_DECODE_SPEEDUP}x" >&2
+        exit 1
+    fi
+    echo "decode gate: binary decode ${dspeed}x >= ${MIN_DECODE_SPEEDUP}x faster than CSV"
 fi

@@ -1,0 +1,243 @@
+package drbw
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"drbw/internal/core"
+	"drbw/internal/diagnose"
+	"drbw/internal/features"
+	"drbw/internal/pebs"
+	"drbw/internal/profiledata"
+	"drbw/internal/topology"
+)
+
+// TraceFormat selects the on-disk samples encoding.
+type TraceFormat string
+
+// Supported trace formats. Reading always autodetects; the format only
+// matters when writing.
+const (
+	// FormatCSV is the line-oriented text format (v2 with the weight meta
+	// row) — greppable, produced and consumed by shell tooling.
+	FormatCSV TraceFormat = "csv"
+	// FormatBinary is the binary columnar format (v3) — several times
+	// smaller and faster to decode, the right choice for large traces.
+	FormatBinary TraceFormat = "binary"
+)
+
+// SaveAs is Save with an explicit samples format. The objects table is
+// always CSV (it is tiny and hand-editable either way).
+func (td *TraceData) SaveAs(samplesPath, objectsPath string, format TraceFormat) error {
+	samples := make([]pebs.Sample, 0, len(td.Samples))
+	for _, r := range td.Samples {
+		s, err := fromRecord(r)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, s)
+	}
+	weight := td.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	var writeSamples func(io.Writer) error
+	switch format {
+	case FormatCSV:
+		writeSamples = func(w io.Writer) error {
+			return profiledata.WriteSamples(w, samples, weight)
+		}
+	case FormatBinary:
+		writeSamples = func(w io.Writer) error {
+			return profiledata.WriteSamplesBinary(w, samples, weight, profiledata.BinaryOptions{})
+		}
+	default:
+		return fmt.Errorf("drbw: unknown trace format %q (want %q or %q)", format, FormatCSV, FormatBinary)
+	}
+	if err := writeFile(samplesPath, writeSamples); err != nil {
+		return err
+	}
+	return writeFile(objectsPath, func(w io.Writer) error {
+		return profiledata.WriteObjects(w, td.internalObjects())
+	})
+}
+
+// TracePaths names one recording's two files.
+type TracePaths struct {
+	Samples string
+	Objects string
+}
+
+// traceScratch is one worker's reusable analysis state: decode buffers for
+// the block reader plus the feature accumulator. Reused across files, it
+// keeps a batch's allocation count proportional to the worker count, not
+// the trace count or length.
+type traceScratch struct {
+	bufs profiledata.Buffers
+	acc  *features.Accumulator
+}
+
+// AnalyzeTraceFile runs the AnalyzeTrace pipeline directly off a recording
+// on disk, streaming the samples file block by block instead of
+// materializing the trace: peak memory is bounded by the decode block
+// size regardless of recording length. Both formats are autodetected. The
+// report is bit-identical to LoadTrace + AnalyzeTrace on the same files.
+func (t *Tool) AnalyzeTraceFile(samplesPath, objectsPath string) (*Report, error) {
+	return t.analyzeTraceFile(samplesPath, objectsPath, &traceScratch{acc: features.NewAccumulator(t.machine)})
+}
+
+// AnalyzeTraceFiles is AnalyzeTraceFile over a batch of recordings on the
+// shared worker pool, with the AnalyzeTraces partial-result semantics:
+// reports[i] is nil exactly when recording i failed, and a *BatchError
+// aggregates the failures. Decode buffers and accumulators are per-worker,
+// so the batch allocates like a handful of serial analyses.
+func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
+	reports := make([]*Report, len(paths))
+	errs := make([]error, len(paths))
+	scratch := make([]*traceScratch, core.PoolWorkers())
+	core.ParallelForLabeledWorker(len(paths), "analyze.tracefiles", func(i, w int) {
+		if w >= len(scratch) {
+			// The pool width changed mid-call; fall back to fresh scratch.
+			reports[i], errs[i] = t.AnalyzeTraceFile(paths[i].Samples, paths[i].Objects)
+			return
+		}
+		if scratch[w] == nil {
+			scratch[w] = &traceScratch{acc: features.NewAccumulator(t.machine)}
+		}
+		reports[i], errs[i] = t.analyzeTraceFile(paths[i].Samples, paths[i].Objects, scratch[w])
+	})
+	var be BatchError
+	for i, err := range errs {
+		if err != nil {
+			be.Cases = append(be.Cases, CaseError{Index: i, Err: err})
+		}
+	}
+	if len(be.Cases) > 0 {
+		return reports, &be
+	}
+	return reports, nil
+}
+
+func (t *Tool) analyzeTraceFile(samplesPath, objectsPath string, sc *traceScratch) (*Report, error) {
+	of, err := os.Open(objectsPath)
+	if err != nil {
+		return nil, fmt.Errorf("drbw: %w", err)
+	}
+	objects, err := profiledata.ReadObjects(of)
+	of.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass one: validate, extract features, find the time range.
+	sc.acc.Reset()
+	var (
+		weight float64
+		tl     *diagnose.TimelineAccumulator
+		total  int
+	)
+	err = t.streamSamples(samplesPath, sc, func(w float64) {
+		weight = w
+		tl = diagnose.NewTimelineAccumulator(timelineBuckets, w)
+	}, func(block []pebs.Sample) error {
+		for i := range block {
+			s := &block[i]
+			if s.SrcNode < 0 || int(s.SrcNode) >= t.machine.Nodes() ||
+				s.HomeNode < 0 || int(s.HomeNode) >= t.machine.Nodes() {
+				return fmt.Errorf("drbw: sample references node outside the %d-node machine", t.machine.Nodes())
+			}
+		}
+		sc.acc.Add(block)
+		tl.Observe(block)
+		total += len(block)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("drbw: recording has no samples")
+	}
+
+	rep := &Report{}
+	var contended []topology.Channel
+	for ch, vec := range sc.acc.Vectors(weight, t.detector.MinSamples) {
+		v := vec
+		label := features.Label(t.tree.Predict(v[:]))
+		core.CountPrediction(label)
+		if label == features.RMC {
+			rep.Detected = true
+			contended = append(contended, ch)
+		}
+	}
+	sortChannelsStable(contended)
+	core.CountDetectCase(rep.Detected)
+	for _, ch := range contended {
+		rep.Channels = append(rep.Channels, ch.String())
+	}
+
+	// Pass two: bucket the timeline and, when contended, attribute CF
+	// through the recorded allocation table.
+	var cf *diagnose.CFAccumulator
+	if rep.Detected {
+		table, err := profiledata.NewTable(objects)
+		if err != nil {
+			return nil, err
+		}
+		cf = diagnose.NewCFAccumulator(table, contended, weight)
+	}
+	err = t.streamSamples(samplesPath, sc, nil, func(block []pebs.Sample) error {
+		tl.Add(block)
+		if cf != nil {
+			cf.Add(block)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.attachTimeline(tl.Buckets())
+	if !rep.Detected {
+		return rep, nil
+	}
+	diag := cf.Report()
+	for _, o := range diag.Overall {
+		rep.Objects = append(rep.Objects, ObjectCF{
+			Name: o.Object.Name, Site: o.Object.Site.String(),
+			CF: o.CF, Samples: o.Samples,
+		})
+	}
+	rep.UnattributedCF = diag.UnattributedCF
+	return rep, nil
+}
+
+// streamSamples opens the samples file and feeds every decoded block to
+// fn, reusing the scratch buffers. onWeight, when non-nil, receives the
+// recording weight before the first block.
+func (t *Tool) streamSamples(path string, sc *traceScratch, onWeight func(float64), fn func([]pebs.Sample) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("drbw: %w", err)
+	}
+	defer f.Close()
+	sr, err := profiledata.NewSampleReaderBuffers(f, &sc.bufs)
+	if err != nil {
+		return err
+	}
+	if onWeight != nil {
+		onWeight(sr.Weight())
+	}
+	for {
+		block, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(block); err != nil {
+			return err
+		}
+	}
+}
