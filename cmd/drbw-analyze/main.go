@@ -7,8 +7,9 @@
 // Usage:
 //
 //	drbw-analyze -samples run.samples.csv -objects run.objects.csv
-//	             [-model model.json] [-quick]
+//	             [-model model.json] [-quick] [-range lo:hi]
 //	             [-http addr] [-metrics] [-log level]
+//	drbw-analyze -shards dir/ [-model model.json] [-quick]
 //	drbw-analyze -samples run.samples.csv -objects run.objects.csv
 //	             -convert out [-format csv|binary]
 //
@@ -17,7 +18,16 @@
 // with per-trace progress on stderr, and a recording that fails to analyze
 // does not abort the others. Samples files may be CSV or the binary
 // columnar format; the reader autodetects. Analysis streams recordings
-// block by block, so memory stays bounded however large the trace is.
+// block by block, so memory stays bounded however large the trace is;
+// indexed binary recordings additionally fan block ranges across the
+// worker pool, with a merged report bit-identical to the serial one.
+//
+// -shards analyzes a directory holding one recording split across several
+// samples files (named *.samples.*) plus a single *.objects.csv, merging
+// them into one report as if the shards had been one file. -range
+// restricts the analysis to samples with lo <= time <= hi (two floats
+// separated by a colon); on indexed recordings whole blocks outside the
+// window are never read.
 //
 // -convert transcodes the recordings to <prefix>.samples.{csv,bin} and
 // <prefix>.objects.csv in the format chosen by -format (default binary)
@@ -39,6 +49,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -48,8 +59,10 @@ import (
 )
 
 func main() {
-	samples := flag.String("samples", "", "samples file (CSV or binary, autodetected), or a comma-separated list (required)")
-	objects := flag.String("objects", "", "allocation-table CSV, or a comma-separated list (required)")
+	samples := flag.String("samples", "", "samples file (CSV or binary, autodetected), or a comma-separated list (required unless -shards)")
+	objects := flag.String("objects", "", "allocation-table CSV, or a comma-separated list (required unless -shards)")
+	shards := flag.String("shards", "", "directory holding one recording sharded across *.samples.* files plus one *.objects.csv")
+	timeRange := flag.String("range", "", "restrict analysis to the lo:hi time window (two floats)")
 	convert := flag.String("convert", "", "transcode the recordings to this output prefix (or comma-separated prefix list) instead of analyzing")
 	format := flag.String("format", "binary", "target format for -convert: csv or binary")
 	model := flag.String("model", "", "saved classifier from drbw-train -o")
@@ -76,13 +89,23 @@ func main() {
 
 	sampleFiles := splitList(*samples)
 	objectFiles := splitList(*objects)
-	if len(sampleFiles) == 0 || len(objectFiles) == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if *shards != "" {
+		if *convert != "" || len(sampleFiles) > 0 || *timeRange != "" {
+			log.Fatal("drbw-analyze: -shards replaces -samples/-objects and combines with neither -convert nor -range")
+		}
+	} else {
+		if len(sampleFiles) == 0 || len(objectFiles) == 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		if len(sampleFiles) != len(objectFiles) {
+			log.Fatalf("drbw-analyze: %d sample files but %d object files; the lists pair positionally",
+				len(sampleFiles), len(objectFiles))
+		}
 	}
-	if len(sampleFiles) != len(objectFiles) {
-		log.Fatalf("drbw-analyze: %d sample files but %d object files; the lists pair positionally",
-			len(sampleFiles), len(objectFiles))
+	lo, hi, haveRange, err := parseRange(*timeRange)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if *convert != "" {
@@ -91,7 +114,6 @@ func main() {
 	}
 
 	var tool *drbw.Tool
-	var err error
 	if *model != "" {
 		tool, err = drbw.Load(*model)
 	} else {
@@ -106,11 +128,42 @@ func main() {
 		log.Fatal(err)
 	}
 
-	paths := make([]drbw.TracePaths, len(sampleFiles))
-	for i := range sampleFiles {
-		paths[i] = drbw.TracePaths{Samples: sampleFiles[i], Objects: objectFiles[i]}
+	if *shards != "" {
+		rep, err := tool.AnalyzeTraceShardDir(*shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep)
+		if *metrics {
+			printMetrics()
+		}
+		return
 	}
-	reports, err := tool.AnalyzeTraceFiles(paths)
+
+	var reports []*drbw.Report
+	if haveRange {
+		// The batch runner has no windowed form; ranged recordings are
+		// analyzed one at a time (each still fans out internally when the
+		// recording is indexed).
+		reports = make([]*drbw.Report, len(sampleFiles))
+		for i := range sampleFiles {
+			rep, rerr := tool.AnalyzeTraceFileRange(sampleFiles[i], objectFiles[i], lo, hi)
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", sampleFiles[i], rerr)
+				if err == nil {
+					err = rerr
+				}
+				continue
+			}
+			reports[i] = rep
+		}
+	} else {
+		paths := make([]drbw.TracePaths, len(sampleFiles))
+		for i := range sampleFiles {
+			paths[i] = drbw.TracePaths{Samples: sampleFiles[i], Objects: objectFiles[i]}
+		}
+		reports, err = tool.AnalyzeTraceFiles(paths)
+	}
 	for i, rep := range reports {
 		if len(reports) > 1 {
 			fmt.Printf("== %s ==\n", sampleFiles[i])
@@ -173,6 +226,27 @@ func printMetrics() {
 		return
 	}
 	fmt.Printf("== metrics ==\n%s\n", b)
+}
+
+// parseRange parses a -range value of the form "lo:hi" into a time window.
+func parseRange(s string) (lo, hi float64, have bool, err error) {
+	if s == "" {
+		return 0, 0, false, nil
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, false, fmt.Errorf("drbw-analyze: -range %q is not lo:hi", s)
+	}
+	if lo, err = strconv.ParseFloat(s[:i], 64); err != nil {
+		return 0, 0, false, fmt.Errorf("drbw-analyze: -range lower bound %q: %v", s[:i], err)
+	}
+	if hi, err = strconv.ParseFloat(s[i+1:], 64); err != nil {
+		return 0, 0, false, fmt.Errorf("drbw-analyze: -range upper bound %q: %v", s[i+1:], err)
+	}
+	if !(lo <= hi) {
+		return 0, 0, false, fmt.Errorf("drbw-analyze: -range %q is empty (want lo <= hi)", s)
+	}
+	return lo, hi, true, nil
 }
 
 // splitList splits a comma-separated flag value, dropping empty entries.

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"drbw"
+	"drbw/internal/core"
 	"drbw/internal/profiledata"
 )
 
@@ -139,4 +140,35 @@ func BenchmarkAnalyzeTrace(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkShardAnalyze pins the block-parallel analysis of one indexed
+// recording: serial is the same fan-out capped at one worker, parallel uses
+// the full pool. scripts/bench.sh derives the shard-speedup gate from the
+// pair; the merge is exact, so both variants produce bit-identical reports.
+func BenchmarkShardAnalyze(b *testing.B) {
+	tool := sharedTool(b)
+	td := codecTrace(benchTraceSamples)
+	dir := b.TempDir()
+	sPath := filepath.Join(dir, "samples.bin")
+	oPath := filepath.Join(dir, "objects.csv")
+	if err := td.SaveAs(sPath, oPath, drbw.FormatBinary); err != nil {
+		b.Fatal(err)
+	}
+	defer core.SetPoolWorkers(0)
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(v.name, func(b *testing.B) {
+			core.SetPoolWorkers(v.workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tool.AnalyzeTraceFile(sPath, oPath); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

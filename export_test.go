@@ -8,3 +8,12 @@ func SetCollectorMaxKept(t *Tool, n int) (restore func()) {
 	t.detector.Ccfg.MaxKept = n
 	return func() { t.detector.Ccfg.MaxKept = prev }
 }
+
+// SetTestHookBetweenPasses installs a hook that runs between the serial
+// streaming analysis' two passes, so tests can mutate the recording
+// mid-analysis. It returns a restore function for the previous hook.
+func SetTestHookBetweenPasses(f func()) (restore func()) {
+	prev := testHookBetweenPasses
+	testHookBetweenPasses = f
+	return func() { testHookBetweenPasses = prev }
+}

@@ -72,17 +72,20 @@ func Analyze(heap Attributor, samples []pebs.Sample, contended []topology.Channe
 // CFAccumulator is the incremental form of Analyze: feed sample chunks with
 // Add as they stream off a recording, then call Report. State is bounded by
 // the number of contended channels and live objects, never by the trace
-// length, and the final report is bit-identical to running Analyze on the
-// concatenation of all chunks.
+// length. All state is integer sample counts — weights are applied as
+// count×weight products at Report time — so accumulation is exact and
+// commutative: the report is bit-identical to Analyze over the same sample
+// multiset no matter how the trace was chunked, ordered, or split across
+// Merge-d accumulators.
 type CFAccumulator struct {
 	heap       Attributor
 	weight     float64
 	channels   []topology.Channel       // deduped, input order
 	index      map[topology.Channel]int // channel → position in channels
-	count      []int                    // per-channel sample count
-	byObj      []map[alloc.ObjectID]float64
-	totalByObj map[alloc.ObjectID]float64
-	unattr     float64
+	count      []int64                  // per-channel sample count
+	byObj      []map[alloc.ObjectID]int64
+	totalByObj map[alloc.ObjectID]int64
+	unattr     int64
 }
 
 // NewCFAccumulator prepares CF attribution for the given contended
@@ -95,7 +98,7 @@ func NewCFAccumulator(heap Attributor, contended []topology.Channel, weight floa
 		heap:       heap,
 		weight:     weight,
 		index:      make(map[topology.Channel]int, len(contended)),
-		totalByObj: map[alloc.ObjectID]float64{},
+		totalByObj: map[alloc.ObjectID]int64{},
 	}
 	for _, ch := range contended {
 		if _, dup := a.index[ch]; dup {
@@ -104,7 +107,7 @@ func NewCFAccumulator(heap Attributor, contended []topology.Channel, weight floa
 		a.index[ch] = len(a.channels)
 		a.channels = append(a.channels, ch)
 		a.count = append(a.count, 0)
-		a.byObj = append(a.byObj, map[alloc.ObjectID]float64{})
+		a.byObj = append(a.byObj, map[alloc.ObjectID]int64{})
 	}
 	return a
 }
@@ -124,12 +127,39 @@ func (a *CFAccumulator) Add(samples []pebs.Sample) {
 		}
 		a.count[idx]++
 		if id, ok := a.heap.Lookup(s.Addr); ok {
-			a.byObj[idx][id] += a.weight
-			a.totalByObj[id] += a.weight
+			a.byObj[idx][id]++
+			a.totalByObj[id]++
 		} else {
-			a.unattr += a.weight
+			a.unattr++
 		}
 	}
+}
+
+// Merge folds o's counts into a, exactly as if o's samples had been Added
+// to a — integer addition, so any partition and merge order reproduces the
+// serial accumulator bit for bit. Both accumulators must have been built
+// for the same contended channels and weight (and the same attributor,
+// which Merge cannot check). o is unchanged.
+func (a *CFAccumulator) Merge(o *CFAccumulator) error {
+	if a.weight != o.weight || len(a.channels) != len(o.channels) {
+		return fmt.Errorf("diagnose: cannot merge CF accumulators with different shape (weight %v/%v, %d/%d channels)", a.weight, o.weight, len(a.channels), len(o.channels))
+	}
+	for i, ch := range a.channels {
+		if o.channels[i] != ch {
+			return fmt.Errorf("diagnose: cannot merge CF accumulators over different channel sets (%v vs %v)", ch, o.channels[i])
+		}
+	}
+	for i := range a.count {
+		a.count[i] += o.count[i]
+		for id, n := range o.byObj[i] {
+			a.byObj[i][id] += n
+		}
+	}
+	for id, n := range o.totalByObj {
+		a.totalByObj[id] += n
+	}
+	a.unattr += o.unattr
+	return nil
 }
 
 // Report assembles the accumulated state into the same Report Analyze
@@ -146,18 +176,19 @@ func (a *CFAccumulator) Report() *Report {
 		}
 		chTotal := float64(a.count[i]) * a.weight
 		totalAll += chTotal
-		rep.PerChannel[ch] = rank(a.heap, a.byObj[i], chTotal)
+		rep.PerChannel[ch] = rank(a.heap, a.byObj[i], chTotal, a.weight)
 	}
 	if totalAll > 0 {
-		rep.Overall = rank(a.heap, a.totalByObj, totalAll)
-		rep.UnattributedCF = a.unattr / totalAll
+		rep.Overall = rank(a.heap, a.totalByObj, totalAll, a.weight)
+		rep.UnattributedCF = float64(a.unattr) * a.weight / totalAll
 	}
 	return rep
 }
 
-func rank(heap Attributor, byObj map[alloc.ObjectID]float64, total float64) []ObjectCF {
+func rank(heap Attributor, byObj map[alloc.ObjectID]int64, total, weight float64) []ObjectCF {
 	out := make([]ObjectCF, 0, len(byObj))
-	for id, n := range byObj {
+	for id, cnt := range byObj {
+		n := float64(cnt) * weight
 		out = append(out, ObjectCF{Object: heap.Object(id), CF: n / total, Samples: n})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -1,0 +1,163 @@
+package diagnose
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"drbw/internal/pebs"
+)
+
+// TestTimelineAddClampsBelowRange is the regression test for the negative
+// bucket index panic: a pass-two sample earlier than anything pass one
+// observed (shard merged out of order, or a file mutated between passes)
+// used to index buckets[-something]. It must clamp into the first bucket
+// instead.
+func TestTimelineAddClampsBelowRange(t *testing.T) {
+	acc := NewTimelineAccumulator(4, 1)
+	observed := []pebs.Sample{mkSample(10, true, 100), mkSample(20, true, 100)}
+	acc.Observe(observed)
+	// Time 5 < minT 10: pre-fix this panicked with index out of range.
+	stray := []pebs.Sample{mkSample(5, true, 700)}
+	acc.Add(observed)
+	acc.Add(stray)
+	b := acc.Buckets()
+	if len(b) != 4 {
+		t.Fatalf("%d buckets", len(b))
+	}
+	if b[0].Samples != 2 {
+		t.Errorf("first bucket holds %v samples, want 2 (observed + clamped stray)", b[0].Samples)
+	}
+	var total float64
+	for _, x := range b {
+		total += x.Samples
+	}
+	if total != 3 {
+		t.Errorf("timeline holds %v samples, want all 3", total)
+	}
+
+	// The slice form clamps identically.
+	all := append(append([]pebs.Sample{}, observed...), stray...)
+	if got := Timeline(all, 4, 1); got == nil {
+		t.Fatal("Timeline returned nil")
+	}
+}
+
+// TestTimelineForkMergeMatchesSerial is the shard contract for the
+// timeline: pass one merged from per-worker range summaries, pass two
+// merged from Fork clones fed arbitrary disjoint chunks in arbitrary
+// order, bit-identical to the serial two-pass accumulator.
+func TestTimelineForkMergeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	samples := make([]pebs.Sample, 3000)
+	for i := range samples {
+		samples[i] = mkSample(float64(i), rng.Intn(3) > 0, (100+1400*rng.Float64())*(0.8+0.4*rng.Float64()))
+	}
+	const n, weight = 32, 2.5
+	want := Timeline(samples, n, weight)
+
+	for trial := 0; trial < 10; trial++ {
+		// Split into arbitrary contiguous parts.
+		nparts := 1 + rng.Intn(5)
+		var parts [][]pebs.Sample
+		start := 0
+		for i := 0; i < nparts; i++ {
+			end := len(samples)
+			if i < nparts-1 {
+				end = start + rng.Intn(len(samples)-start+1)
+			}
+			parts = append(parts, samples[start:end])
+			start = end
+		}
+
+		// Pass one: each part observed by its own accumulator, merged in
+		// shuffled order.
+		parent := NewTimelineAccumulator(n, weight)
+		order := rng.Perm(nparts)
+		for _, p := range order {
+			w := NewTimelineAccumulator(n, weight)
+			w.Observe(parts[p])
+			if err := parent.Merge(w); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Pass two: per-part forks, merged in a different shuffled order.
+		forks := make([]*TimelineAccumulator, nparts)
+		for i, part := range parts {
+			forks[i] = parent.Fork()
+			forks[i].Add(part)
+		}
+		for _, p := range rng.Perm(nparts) {
+			if err := parent.Merge(forks[p]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := parent.Buckets(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: sharded timeline differs from serial", trial)
+		}
+	}
+}
+
+// TestTimelineMergeRejectsMismatch: shape and phase mismatches error out
+// instead of misbucketing.
+func TestTimelineMergeRejectsMismatch(t *testing.T) {
+	a := NewTimelineAccumulator(8, 1)
+	if err := a.Merge(NewTimelineAccumulator(4, 1)); err == nil {
+		t.Error("bucket count mismatch accepted")
+	}
+	if err := a.Merge(NewTimelineAccumulator(8, 2)); err == nil {
+		t.Error("weight mismatch accepted")
+	}
+	one := []pebs.Sample{mkSample(1, true, 100)}
+	a.Observe(one)
+	frozen := a.Fork()
+	if err := a.Merge(frozen); err != nil {
+		// a froze when Fork ran, so this merge is legal; sanity only.
+		t.Errorf("fork merge failed: %v", err)
+	}
+	unfrozen := NewTimelineAccumulator(8, 1)
+	if err := a.Merge(unfrozen); err == nil {
+		t.Error("cross-phase merge accepted")
+	}
+}
+
+// TestCFAccumulatorMergeMatchesSerial: CF attribution over merged partial
+// accumulators is bit-identical to the serial fold, in any merge order.
+func TestCFAccumulatorMergeMatchesSerial(t *testing.T) {
+	samples, _, contended, heap := contentionTrace(t, 4000, 7)
+	want := Analyze(heap, samples, contended, 2.5)
+
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		nparts := 1 + rng.Intn(5)
+		parts := make([]*CFAccumulator, nparts)
+		for i := range parts {
+			parts[i] = NewCFAccumulator(heap, contended, 2.5)
+		}
+		for _, s := range samples {
+			parts[rng.Intn(nparts)].Add([]pebs.Sample{s})
+		}
+		merged := NewCFAccumulator(heap, contended, 2.5)
+		for _, p := range rng.Perm(nparts) {
+			if err := merged.Merge(parts[p]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := merged.Report(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merged CF report differs from Analyze", trial)
+		}
+	}
+}
+
+// TestCFAccumulatorMergeRejectsMismatch: differing weight or channel sets
+// refuse to merge.
+func TestCFAccumulatorMergeRejectsMismatch(t *testing.T) {
+	_, acc, contended, heap := contentionTrace(t, 10, 1)
+	if err := acc.Merge(NewCFAccumulator(heap, contended, 99)); err == nil {
+		t.Error("weight mismatch accepted")
+	}
+	if err := acc.Merge(NewCFAccumulator(heap, contended[:1], 2.5)); err == nil {
+		t.Error("channel set mismatch accepted")
+	}
+}

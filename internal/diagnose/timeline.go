@@ -1,10 +1,12 @@
 package diagnose
 
 import (
+	"fmt"
 	"math"
 	"strings"
 
 	"drbw/internal/pebs"
+	"drbw/internal/xsum"
 )
 
 // Bucket is one time slice of a profiled run.
@@ -22,65 +24,41 @@ type Bucket struct {
 // Timeline buckets a run's samples into n equal time slices — the
 // profiler-style view of *when* remote pressure happened (AMG's solve phase
 // lights up while init stays dark). weight scales kept samples to true
-// counts.
+// counts. Timeline is the slice form of TimelineAccumulator and is defined
+// as exactly that: observe, add, finalize.
 func Timeline(samples []pebs.Sample, n int, weight float64) []Bucket {
-	if len(samples) == 0 || n <= 0 {
-		return nil
-	}
-	if weight <= 0 {
-		weight = 1
-	}
-	minT, maxT := math.Inf(1), math.Inf(-1)
-	for _, s := range samples {
-		if s.Time < minT {
-			minT = s.Time
-		}
-		if s.Time > maxT {
-			maxT = s.Time
-		}
-	}
-	if maxT <= minT {
-		maxT = minT + 1
-	}
-	span := maxT - minT
-	out := make([]Bucket, n)
-	lat := make([]float64, n)
-	for i := range out {
-		out[i].Start = minT + span*float64(i)/float64(n)
-		out[i].End = minT + span*float64(i+1)/float64(n)
-	}
-	for _, s := range samples {
-		i := int(float64(n) * (s.Time - minT) / span)
-		if i >= n {
-			i = n - 1
-		}
-		out[i].Samples += weight
-		if s.RemoteDRAM() {
-			out[i].RemoteSamples += weight
-			lat[i] += s.Latency * weight
-		}
-	}
-	for i := range out {
-		if out[i].RemoteSamples > 0 {
-			out[i].AvgRemoteLatency = lat[i] / out[i].RemoteSamples
-		}
-	}
-	return out
+	acc := NewTimelineAccumulator(n, weight)
+	acc.Observe(samples)
+	acc.Add(samples)
+	return acc.Buckets()
 }
 
 // TimelineAccumulator is the two-pass streaming form of Timeline. Bucket
 // boundaries need the global time range, so a streaming caller feeds every
 // chunk to Observe first, then replays the recording through Add and reads
-// Buckets. The result is bit-identical to Timeline over the concatenated
-// chunks, while state stays bounded by the bucket count.
+// Buckets.
+//
+// Both passes are mergeable for shard-parallel analysis: pass-one range
+// state merges with Merge before any Add, and pass-two counting state
+// merges across Fork clones afterwards. Counts are integers and the
+// latency mass is an exact xsum total, so the result is a function of the
+// sample multiset alone — chunk order, shard boundaries and merge shape
+// never show in the output, and any streamed or sharded schedule is
+// bit-identical to Timeline over the whole slice. State stays bounded by
+// the bucket count.
 type TimelineAccumulator struct {
 	n          int
 	weight     float64
 	minT, maxT float64
-	span       float64
 	total      int
-	buckets    []Bucket
-	lat        []float64
+
+	// Pass-two state, built when the bucket geometry freezes.
+	frozen  bool
+	start   float64 // frozen minT
+	span    float64
+	samples []int64
+	remote  []int64
+	lat     []xsum.Sum
 }
 
 // NewTimelineAccumulator prepares an n-bucket timeline. weight scales kept
@@ -105,59 +83,144 @@ func (t *TimelineAccumulator) Observe(samples []pebs.Sample) {
 	}
 }
 
-// Add buckets a chunk (pass two). Chunks must arrive in the same order as
-// they were observed for the per-bucket latency sums to match Timeline bit
-// for bit.
-func (t *TimelineAccumulator) Add(samples []pebs.Sample) {
-	if t.total == 0 || t.n <= 0 {
+// ObserveRange folds an already-summarized chunk into pass one: n samples
+// spanning [minT, maxT]. A sharded pass one reduces each worker's portion
+// to exactly this triple.
+func (t *TimelineAccumulator) ObserveRange(minT, maxT float64, n int) {
+	if n <= 0 {
 		return
 	}
-	if t.buckets == nil {
-		maxT := t.maxT
-		if maxT <= t.minT {
-			maxT = t.minT + 1
+	t.total += n
+	if minT < t.minT {
+		t.minT = minT
+	}
+	if maxT > t.maxT {
+		t.maxT = maxT
+	}
+}
+
+// freeze fixes the bucket geometry from the observed range and allocates
+// the counting state. After freeze, Observe/ObserveRange must not widen the
+// range any further (Merge enforces this across accumulators).
+func (t *TimelineAccumulator) freeze() {
+	if t.frozen {
+		return
+	}
+	maxT := t.maxT
+	if maxT <= t.minT {
+		maxT = t.minT + 1
+	}
+	t.start = t.minT
+	t.span = maxT - t.minT
+	t.samples = make([]int64, t.n)
+	t.remote = make([]int64, t.n)
+	t.lat = make([]xsum.Sum, t.n)
+	t.frozen = true
+}
+
+// Add buckets a chunk (pass two). The first Add freezes the bucket
+// geometry from everything observed so far. Samples outside the observed
+// range clamp to the first or last bucket instead of indexing out of
+// bounds — they can only appear when the recording changed between the
+// passes, and the pipeline reports that separately.
+func (t *TimelineAccumulator) Add(samples []pebs.Sample) {
+	if t.n <= 0 {
+		return
+	}
+	if !t.frozen {
+		if t.total == 0 {
+			return
 		}
-		t.span = maxT - t.minT
-		t.buckets = make([]Bucket, t.n)
-		t.lat = make([]float64, t.n)
-		for i := range t.buckets {
-			t.buckets[i].Start = t.minT + t.span*float64(i)/float64(t.n)
-			t.buckets[i].End = t.minT + t.span*float64(i+1)/float64(t.n)
-		}
+		t.freeze()
 	}
 	for idx := range samples {
 		s := &samples[idx]
-		i := int(float64(t.n) * (s.Time - t.minT) / t.span)
+		i := int(float64(t.n) * (s.Time - t.start) / t.span)
 		if i >= t.n {
 			i = t.n - 1
 		}
-		t.buckets[i].Samples += t.weight
+		if i < 0 {
+			i = 0
+		}
+		t.samples[i]++
 		if s.RemoteDRAM() {
-			t.buckets[i].RemoteSamples += t.weight
-			t.lat[i] += s.Latency * t.weight
+			t.remote[i]++
+			t.lat[i].Add(s.Latency)
 		}
 	}
 }
 
+// Fork returns an add-phase clone sharing this accumulator's frozen bucket
+// geometry but holding no counts: one per worker in a sharded pass two,
+// merged back with Merge. Fork freezes the parent's geometry, so all
+// observation must be complete. Forking before any sample was observed
+// returns nil (there is nothing to bucket).
+func (t *TimelineAccumulator) Fork() *TimelineAccumulator {
+	if t.n <= 0 || (!t.frozen && t.total == 0) {
+		return nil
+	}
+	t.freeze()
+	f := &TimelineAccumulator{
+		n: t.n, weight: t.weight,
+		minT: t.minT, maxT: t.maxT,
+		start: t.start, span: t.span,
+	}
+	f.samples = make([]int64, f.n)
+	f.remote = make([]int64, f.n)
+	f.lat = make([]xsum.Sum, f.n)
+	f.frozen = true
+	return f
+}
+
+// Merge folds o into t. Before freezing, it merges pass-one range state
+// (another shard's ObserveRange); after, it merges pass-two counts from a
+// Fork clone. Both accumulators must be in the same phase with the same
+// shape, and frozen ones must share their geometry — anything else is a
+// pipeline bug, reported as an error rather than silently misbucketed. o is
+// logically unchanged.
+func (t *TimelineAccumulator) Merge(o *TimelineAccumulator) error {
+	if t.n != o.n || t.weight != o.weight {
+		return fmt.Errorf("diagnose: cannot merge timelines with different shape (%d/%d buckets, weight %v/%v)", t.n, o.n, t.weight, o.weight)
+	}
+	if t.frozen != o.frozen {
+		return fmt.Errorf("diagnose: cannot merge timelines from different passes")
+	}
+	if !t.frozen {
+		t.ObserveRange(o.minT, o.maxT, o.total)
+		return nil
+	}
+	if t.start != o.start || t.span != o.span {
+		return fmt.Errorf("diagnose: cannot merge timelines with different bucket geometry")
+	}
+	t.total += o.total
+	for i := range t.samples {
+		t.samples[i] += o.samples[i]
+		t.remote[i] += o.remote[i]
+		t.lat[i].Merge(&o.lat[i])
+	}
+	return nil
+}
+
 // Buckets finalizes and returns the timeline (nil when no samples were
-// observed, matching Timeline).
+// observed, matching Timeline). Weighted counts are count×weight products
+// and the average latency is the exact latency mass over the exact count,
+// so finalization is as order-blind as the accumulation.
 func (t *TimelineAccumulator) Buckets() []Bucket {
 	if t.total == 0 || t.n <= 0 {
 		return nil
 	}
-	if t.buckets == nil {
-		// Observed samples but Add was never called with any: lazily build
-		// empty buckets so the shape still matches Timeline.
-		t.Add(nil)
-	}
-	for i := range t.buckets {
-		if t.buckets[i].RemoteSamples > 0 {
-			t.buckets[i].AvgRemoteLatency = t.lat[i] / t.buckets[i].RemoteSamples
-		} else {
-			t.buckets[i].AvgRemoteLatency = 0
+	t.freeze()
+	out := make([]Bucket, t.n)
+	for i := range out {
+		out[i].Start = t.start + t.span*float64(i)/float64(t.n)
+		out[i].End = t.start + t.span*float64(i+1)/float64(t.n)
+		out[i].Samples = float64(t.samples[i]) * t.weight
+		out[i].RemoteSamples = float64(t.remote[i]) * t.weight
+		if t.remote[i] > 0 {
+			out[i].AvgRemoteLatency = t.lat[i].Value() / float64(t.remote[i])
 		}
 	}
-	return t.buckets
+	return out
 }
 
 // sparkRunes are the eight sparkline levels.

@@ -24,6 +24,7 @@ import (
 	"drbw/internal/cache"
 	"drbw/internal/pebs"
 	"drbw/internal/topology"
+	"drbw/internal/xsum"
 )
 
 // Label is the training/detection class of one run or channel.
@@ -76,20 +77,24 @@ var latencyThresholds = [5]float64{1000, 500, 200, 100, 50}
 // Extract computes the Table I vector for remote channel ch from the full
 // sample set of a run. weight scales sample counts back to true totals when
 // the collector used a reservoir (pebs.Collector.Weight).
+//
+// Latency sums run through xsum, like every analysis-path accumulator, so
+// the vector is a function of the sample multiset alone — the same bits as
+// the streaming Accumulator regardless of how either side chunks the trace.
 func Extract(samples []pebs.Sample, ch topology.Channel, weight float64) Vector {
 	if weight <= 0 {
 		weight = 1
 	}
 	var v Vector
 	var batch, remote, local, lfb float64
-	var latSum, remoteLat, localLat, lfbLat float64
+	var latSum, remoteLat, localLat, lfbLat xsum.Sum
 	var above [5]float64
 	for _, s := range samples {
 		if s.SrcNode != ch.Src {
 			continue
 		}
 		batch++
-		latSum += s.Latency
+		latSum.Add(s.Latency)
 		for i, th := range latencyThresholds {
 			if s.Latency > th {
 				above[i]++
@@ -98,13 +103,13 @@ func Extract(samples []pebs.Sample, ch topology.Channel, weight float64) Vector 
 		switch {
 		case s.Level == cache.MEM && s.HomeNode == ch.Dst && !ch.Local():
 			remote++
-			remoteLat += s.Latency
+			remoteLat.Add(s.Latency)
 		case s.Level == cache.MEM && s.HomeNode == s.SrcNode:
 			local++
-			localLat += s.Latency
+			localLat.Add(s.Latency)
 		case s.Level == cache.LFB:
 			lfb++
-			lfbLat += s.Latency
+			lfbLat.Add(s.Latency)
 		}
 	}
 	if batch == 0 {
@@ -115,17 +120,17 @@ func Extract(samples []pebs.Sample, ch topology.Channel, weight float64) Vector 
 	}
 	v[5] = remote * weight
 	if remote > 0 {
-		v[6] = remoteLat / remote
+		v[6] = remoteLat.Value() / remote
 	}
 	v[7] = local * weight
 	if local > 0 {
-		v[8] = localLat / local
+		v[8] = localLat.Value() / local
 	}
 	v[9] = batch * weight
-	v[10] = latSum / batch
+	v[10] = latSum.Value() / batch
 	v[11] = lfb * weight
 	if lfb > 0 {
-		v[12] = lfbLat / lfb
+		v[12] = lfbLat.Value() / lfb
 	}
 	return v
 }
@@ -146,29 +151,30 @@ func ChannelVectors(m *topology.Machine, samples []pebs.Sample, weight float64, 
 }
 
 // Accumulator builds Table I channel vectors incrementally — the streaming
-// form of ChannelVectors. Feed it sample chunks in trace order with Add (a
-// block iterator's output, or one whole slice) and finish with Vectors;
-// because every per-socket and per-channel statistic is a running sum, the
-// result is bit-identical to a single ChannelVectors call over the
-// concatenation of the chunks, while peak memory stays O(nodes²) regardless
-// of trace length. An Accumulator is not safe for concurrent use; Reset
-// recycles one between traces without reallocating.
+// form of ChannelVectors. Feed it sample chunks with Add (a block iterator's
+// output, or one whole slice) and finish with Vectors. Counts are exact
+// integers in float64 and latency sums are exact xsum accumulators, so the
+// result is bit-identical to a single ChannelVectors call over the same
+// sample multiset — chunking, ordering and Merge trees do not matter —
+// while peak memory stays O(nodes²) regardless of trace length. An
+// Accumulator is not safe for concurrent use; Reset recycles one between
+// traces without reallocating.
 type Accumulator struct {
 	m  *topology.Machine
 	nn int
 	// Per-source-socket aggregates.
 	batch    []float64
-	latSum   []float64
+	latSum   []xsum.Sum
 	above    [][5]float64
 	local    []float64
-	localLat []float64
+	localLat []xsum.Sum
 	lfb      []float64
-	lfbLat   []float64
+	lfbLat   []xsum.Sum
 	// Per directed channel: remote-DRAM terms and the minSamples gate (the
 	// gate mirrors pebs.Associate, which files MEM/LFB samples under their
 	// src→home channel).
 	remote    []float64
-	remoteLat []float64
+	remoteLat []xsum.Sum
 	assoc     []int
 }
 
@@ -179,11 +185,11 @@ func NewAccumulator(m *topology.Machine) *Accumulator {
 	return &Accumulator{
 		m: m, nn: nn,
 		batch:  make([]float64, nn),
-		latSum: make([]float64, nn),
+		latSum: make([]xsum.Sum, nn),
 		above:  make([][5]float64, nn),
-		local:  make([]float64, nn), localLat: make([]float64, nn),
-		lfb: make([]float64, nn), lfbLat: make([]float64, nn),
-		remote: make([]float64, nch), remoteLat: make([]float64, nch),
+		local:  make([]float64, nn), localLat: make([]xsum.Sum, nn),
+		lfb: make([]float64, nn), lfbLat: make([]xsum.Sum, nn),
+		remote: make([]float64, nch), remoteLat: make([]xsum.Sum, nch),
 		assoc: make([]int, nch),
 	}
 }
@@ -191,14 +197,47 @@ func NewAccumulator(m *topology.Machine) *Accumulator {
 // Reset clears the running sums so the accumulator can take the next trace.
 func (a *Accumulator) Reset() {
 	for i := range a.batch {
-		a.batch[i], a.latSum[i] = 0, 0
+		a.batch[i] = 0
+		a.latSum[i].Reset()
 		a.above[i] = [5]float64{}
-		a.local[i], a.localLat[i] = 0, 0
-		a.lfb[i], a.lfbLat[i] = 0, 0
+		a.local[i], a.lfb[i] = 0, 0
+		a.localLat[i].Reset()
+		a.lfbLat[i].Reset()
 	}
 	for i := range a.remote {
-		a.remote[i], a.remoteLat[i], a.assoc[i] = 0, 0, 0
+		a.remote[i], a.assoc[i] = 0, 0
+		a.remoteLat[i].Reset()
 	}
+}
+
+// Merge folds other's running statistics into a, exactly as if other's
+// samples had been Added to a directly — the accumulator half of the
+// shard-parallel pipeline. Summation order is immaterial by construction:
+// counts are exact integer arithmetic and latency mass merges through
+// xsum's exact limb addition, so any merge tree over any partition of a
+// trace reproduces the serial accumulator bit for bit. other is logically
+// unchanged. Both accumulators must describe the same machine shape.
+func (a *Accumulator) Merge(other *Accumulator) error {
+	if a.nn != other.nn || len(a.remote) != len(other.remote) {
+		return fmt.Errorf("features: cannot merge accumulators for different machine shapes (%d/%d nodes)", a.nn, other.nn)
+	}
+	for i := range a.batch {
+		a.batch[i] += other.batch[i]
+		a.latSum[i].Merge(&other.latSum[i])
+		for j := range a.above[i] {
+			a.above[i][j] += other.above[i][j]
+		}
+		a.local[i] += other.local[i]
+		a.localLat[i].Merge(&other.localLat[i])
+		a.lfb[i] += other.lfb[i]
+		a.lfbLat[i].Merge(&other.lfbLat[i])
+	}
+	for i := range a.remote {
+		a.remote[i] += other.remote[i]
+		a.remoteLat[i].Merge(&other.remoteLat[i])
+		a.assoc[i] += other.assoc[i]
+	}
+	return nil
 }
 
 // Add folds a chunk of samples into the running statistics.
@@ -211,7 +250,7 @@ func (a *Accumulator) Add(samples []pebs.Sample) {
 			continue // cannot belong to any channel's source batch
 		}
 		a.batch[src]++
-		a.latSum[src] += s.Latency
+		a.latSum[src].Add(s.Latency)
 		for i, th := range latencyThresholds {
 			if s.Latency > th {
 				a.above[src][i]++
@@ -222,13 +261,13 @@ func (a *Accumulator) Add(samples []pebs.Sample) {
 		switch {
 		case s.Level == cache.MEM && homeValid && home != src:
 			a.remote[src*nn+home]++
-			a.remoteLat[src*nn+home] += s.Latency
+			a.remoteLat[src*nn+home].Add(s.Latency)
 		case s.Level == cache.MEM && s.HomeNode == s.SrcNode:
 			a.local[src]++
-			a.localLat[src] += s.Latency
+			a.localLat[src].Add(s.Latency)
 		case s.Level == cache.LFB:
 			a.lfb[src]++
-			a.lfbLat[src] += s.Latency
+			a.lfbLat[src].Add(s.Latency)
 		}
 		if (s.Level == cache.MEM || s.Level == cache.LFB) && homeValid {
 			a.assoc[src*nn+home]++
@@ -270,17 +309,17 @@ func (a *Accumulator) Vectors(weight float64, minSamples int) map[topology.Chann
 		}
 		v[5] = a.remote[ci] * weight
 		if a.remote[ci] > 0 {
-			v[6] = a.remoteLat[ci] / a.remote[ci]
+			v[6] = a.remoteLat[ci].Value() / a.remote[ci]
 		}
 		v[7] = a.local[src] * weight
 		if a.local[src] > 0 {
-			v[8] = a.localLat[src] / a.local[src]
+			v[8] = a.localLat[src].Value() / a.local[src]
 		}
 		v[9] = a.batch[src] * weight
-		v[10] = a.latSum[src] / a.batch[src]
+		v[10] = a.latSum[src].Value() / a.batch[src]
 		v[11] = a.lfb[src] * weight
 		if a.lfb[src] > 0 {
-			v[12] = a.lfbLat[src] / a.lfb[src]
+			v[12] = a.lfbLat[src].Value() / a.lfb[src]
 		}
 		out[ch] = v
 	}

@@ -78,6 +78,12 @@ const maxBlockSamples = 1 << 20
 // columns, all at their widest), used to sanity-check payload lengths.
 const maxSampleEncoded = 80
 
+// minSampleEncoded is the fewest bytes one sample can occupy in a block
+// payload (nine columns at their narrowest). It bounds both the payload
+// plausibility check and the whole-trace allocation hint: a header cannot
+// claim more samples than the bytes on hand divided by this.
+const minSampleEncoded = 7
+
 // levelNames is the dictionary written into the header, indexed by
 // cache.Level. parseLevel inverts it on read.
 var levelNames = []string{
@@ -93,6 +99,15 @@ type BinaryOptions struct {
 	// again at a decode-speed cost; the uncompressed form is already
 	// several times smaller than CSV.
 	Compress bool
+	// Index appends the block index footer (see index.go) after the body
+	// terminator: per-block file offsets, sample counts, time ranges and
+	// decoder seed state, discovered by a trailing magic. Streaming readers
+	// stop at the terminator and never see it; indexed readers
+	// (OpenIndexedTrace) use it to decode block ranges independently.
+	// Ignored when Compress is set — a flate body has no seekable block
+	// boundaries — and skipped when any block's time column defeats the
+	// min/max scan (NaN times).
+	Index bool
 }
 
 // WriteSamplesBinary writes samples in the binary columnar v3 format. A
@@ -124,7 +139,8 @@ func WriteSamplesBinary(w io.Writer, samples []pebs.Sample, weight float64, opt 
 	// Total sample count: lets the reader size its slice once instead of
 	// growing through half a dozen reallocations on a large trace.
 	var cnt [binary.MaxVarintLen64]byte
-	bw.Write(cnt[:binary.PutUvarint(cnt[:], uint64(len(samples)))])
+	ncnt := binary.PutUvarint(cnt[:], uint64(len(samples)))
+	bw.Write(cnt[:ncnt])
 	bw.WriteByte(byte(len(levelNames)))
 	for _, name := range levelNames {
 		bw.WriteByte(byte(len(name)))
@@ -142,6 +158,16 @@ func WriteSamplesBinary(w io.Writer, samples []pebs.Sample, weight float64, opt 
 		body = fw
 	}
 
+	// Block offsets for the index are computed arithmetically — the header
+	// length plus every block written so far — which only works for the
+	// uncompressed body the index is defined on.
+	writeIndex := opt.Index && !opt.Compress
+	off := int64(len(binaryMagic)) + 2 + 8 + int64(ncnt) + 1
+	for _, name := range levelNames {
+		off += 1 + int64(len(name))
+	}
+	var entries []IndexEntry
+
 	var enc blockEncoder
 	var head [2 * binary.MaxVarintLen64]byte
 	for start := 0; start < len(samples); start += blockSize {
@@ -150,6 +176,32 @@ func WriteSamplesBinary(w io.Writer, samples []pebs.Sample, weight float64, opt 
 			end = len(samples)
 		}
 		block := samples[start:end]
+		if writeIndex {
+			// Decoder seed state is the encoder's running deltas as they
+			// stand *before* this block.
+			e := IndexEntry{
+				Offset: off, Count: len(block),
+				PrevTime: enc.prevTime, PrevAddr: enc.prevAddr, PrevLat: enc.prevLat,
+				MinTime: block[0].Time, MaxTime: block[0].Time,
+			}
+			for i := range block {
+				if math.IsNaN(block[i].Time) {
+					// An unordered time defeats the range; without a
+					// trustworthy range the index is not worth writing.
+					writeIndex = false
+					break
+				}
+				if block[i].Time < e.MinTime {
+					e.MinTime = block[i].Time
+				}
+				if block[i].Time > e.MaxTime {
+					e.MaxTime = block[i].Time
+				}
+			}
+			if writeIndex {
+				entries = append(entries, e)
+			}
+		}
 		payload, err := enc.encode(block)
 		if err != nil {
 			return err
@@ -162,6 +214,7 @@ func WriteSamplesBinary(w io.Writer, samples []pebs.Sample, weight float64, opt 
 		if _, err := body.Write(payload); err != nil {
 			return fmt.Errorf("profiledata: %w", err)
 		}
+		off += int64(n) + int64(len(payload))
 	}
 	// Zero-count terminator.
 	n := binary.PutUvarint(head[:], 0)
@@ -171,6 +224,11 @@ func WriteSamplesBinary(w io.Writer, samples []pebs.Sample, weight float64, opt 
 	if fw != nil {
 		if err := fw.Close(); err != nil {
 			return fmt.Errorf("profiledata: %w", err)
+		}
+	}
+	if writeIndex {
+		if err := writeBlockIndex(bw, entries); err != nil {
+			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {

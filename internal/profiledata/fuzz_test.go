@@ -24,7 +24,7 @@ func FuzzReadSamples(f *testing.F) {
 	f.Add(v2.Bytes()[bytes.IndexByte(v2.Bytes(), '\n')+1:]) // v1: no meta row
 	f.Add(v2.Bytes()[:v2.Len()/2])                          // truncated CSV
 
-	for _, opt := range []BinaryOptions{{}, {Compress: true}, {BlockSize: 16}} {
+	for _, opt := range []BinaryOptions{{}, {Compress: true}, {BlockSize: 16}, {Index: true}, {BlockSize: 16, Index: true}, {Compress: true, Index: true}} {
 		var bin bytes.Buffer
 		if err := WriteSamplesBinary(&bin, samples, 2.5, opt); err != nil {
 			f.Fatal(err)
@@ -32,12 +32,34 @@ func FuzzReadSamples(f *testing.F) {
 		f.Add(bin.Bytes())
 		f.Add(bin.Bytes()[:bin.Len()/2]) // truncated binary
 		f.Add(bin.Bytes()[:12])          // truncated header
+		if opt.Index && !opt.Compress {
+			f.Add(bin.Bytes()[:bin.Len()-8])            // truncated index trailer
+			f.Add(bin.Bytes()[:bin.Len()-indexTailLen]) // footerless tail
+		}
 	}
 	f.Add([]byte(binaryMagic))
 	f.Add([]byte("time,cpu\n1,2\n"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The indexed opener must never panic on arbitrary bytes. A footer
+		// forged onto valid blocks may carry wrong seed state — then ranges
+		// decode to *different* (but structurally valid) samples or fail —
+		// so the only invariants asserted on untrusted input are memory
+		// safety and per-entry count agreement.
+		if it, err := NewIndexedTrace(bytes.NewReader(data), int64(len(data))); err == nil {
+			for b := 0; b < it.Blocks(); b++ {
+				rr, err := it.RangeReader(b, b+1, nil)
+				if err != nil {
+					t.Fatalf("validated index rejected range [%d,%d): %v", b, b+1, err)
+				}
+				part, err := rr.appendRemaining(nil)
+				if err == nil && len(part) != it.Entry(b).Count {
+					t.Fatalf("range [%d,%d) decoded %d samples, index claims %d", b, b+1, len(part), it.Entry(b).Count)
+				}
+			}
+		}
+
 		got, weight, err := ReadSamples(bytes.NewReader(data))
 		if err != nil {
 			return
@@ -64,6 +86,39 @@ func FuzzReadSamples(f *testing.F) {
 		for i := range got {
 			if !sameSample(again[i], got[i]) {
 				t.Fatalf("sample %d changed across round-trip", i)
+			}
+		}
+
+		// Indexed round-trip: re-encode with the footer and decode back
+		// through block ranges. Our own writer's index is trusted, so here
+		// full equivalence holds (ErrNoIndex is legitimate: NaN times).
+		var ibuf bytes.Buffer
+		if err := WriteSamplesBinary(&ibuf, got, weight, BinaryOptions{BlockSize: 32, Index: true}); err != nil {
+			t.Fatalf("indexed re-encode failed: %v", err)
+		}
+		it, err := NewIndexedTrace(bytes.NewReader(ibuf.Bytes()), int64(ibuf.Len()))
+		if err != nil {
+			if err == ErrNoIndex {
+				return
+			}
+			t.Fatalf("opening our own indexed encoding failed: %v", err)
+		}
+		var ranged []pebs.Sample
+		for b := 0; b < it.Blocks(); b++ {
+			rr, err := it.RangeReader(b, b+1, nil)
+			if err != nil {
+				t.Fatalf("range [%d,%d): %v", b, b+1, err)
+			}
+			if ranged, err = rr.appendRemaining(ranged); err != nil {
+				t.Fatalf("range [%d,%d): %v", b, b+1, err)
+			}
+		}
+		if len(ranged) != len(got) {
+			t.Fatalf("ranged decode yields %d samples, want %d", len(ranged), len(got))
+		}
+		for i := range got {
+			if !sameSample(ranged[i], got[i]) {
+				t.Fatalf("sample %d changed across the indexed round-trip", i)
 			}
 		}
 	})

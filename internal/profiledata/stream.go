@@ -7,6 +7,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"os"
 	"slices"
 	"strconv"
 
@@ -40,6 +41,12 @@ type SampleReader struct {
 	dec     blockDecoder
 	total   uint64 // header sample-count hint; 0 when the writer didn't know
 	decoded uint64 // samples decoded so far, checked against total at the end
+	avail   int64  // input byte size when cheaply knowable, else -1
+
+	// Range-limited state (readers built by IndexedTrace.RangeReader): the
+	// reader stops after blocksLeft blocks instead of at a terminator.
+	limited    bool
+	blocksLeft int
 
 	// CSV state.
 	cr   *csv.Reader
@@ -70,6 +77,7 @@ func NewSampleReaderBuffers(r io.Reader, bufs *Buffers) (*SampleReader, error) {
 	if bufs == nil {
 		bufs = &Buffers{}
 	}
+	avail := inputSize(r)
 	br := bufio.NewReaderSize(r, 64<<10)
 	head, err := br.Peek(len(binaryMagic))
 	if err == nil && string(head) == binaryMagic {
@@ -78,9 +86,12 @@ func NewSampleReaderBuffers(r io.Reader, bufs *Buffers) (*SampleReader, error) {
 		if err != nil {
 			return nil, err
 		}
-		sr := &SampleReader{weight: weight, format: FormatBinaryV3, bufs: bufs, total: total}
+		sr := &SampleReader{weight: weight, format: FormatBinaryV3, bufs: bufs, total: total, avail: avail}
 		sr.dec.levels = levels
 		if compressed {
+			// The input size bounds compressed bytes, not decoded ones, so
+			// it says nothing useful about the sample count.
+			sr.avail = -1
 			sr.body = bufio.NewReaderSize(flate.NewReader(br), 64<<10)
 		} else {
 			sr.body = br
@@ -159,8 +170,17 @@ func (sr *SampleReader) nextBinary() ([]pebs.Sample, error) {
 }
 
 // readBlock reads the next block header and payload into the shared payload
-// buffer, returning io.EOF at the zero-count terminator.
+// buffer, returning io.EOF at the zero-count terminator — or, for a
+// range-limited reader, after the range's block count, with the decoded
+// total verified against the index's claim.
 func (sr *SampleReader) readBlock() (int, []byte, error) {
+	if sr.limited && sr.blocksLeft == 0 {
+		sr.done = true
+		if sr.decoded != sr.total {
+			return 0, nil, fmt.Errorf("profiledata: block range holds %d samples but its index claims %d", sr.decoded, sr.total)
+		}
+		return 0, nil, io.EOF
+	}
 	count, err := binary.ReadUvarint(sr.body)
 	if err != nil {
 		return 0, nil, fmt.Errorf("profiledata: reading block header: %w", corruptEOF(err))
@@ -179,12 +199,13 @@ func (sr *SampleReader) readBlock() (int, []byte, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("profiledata: reading block header: %w", corruptEOF(err))
 	}
-	// A block's payload is at least ~7 and at most maxSampleEncoded bytes
-	// per sample; anything outside is corrupt. The lower bound also means a
-	// huge claimed count needs a proportionally huge payload actually
-	// present in the file before the sample buffer below is allocated, so
-	// truncated or malicious headers cannot force large allocations.
-	if plen < 7*count || plen > maxSampleEncoded*count+16 {
+	// A block's payload is at least minSampleEncoded and at most
+	// maxSampleEncoded bytes per sample; anything outside is corrupt. The
+	// lower bound also means a huge claimed count needs a proportionally
+	// huge payload actually present in the file before the sample buffer
+	// below is allocated, so truncated or malicious headers cannot force
+	// large allocations.
+	if plen < minSampleEncoded*count || plen > maxSampleEncoded*count+16 {
 		return 0, nil, fmt.Errorf("profiledata: block payload of %d bytes is implausible for %d samples", plen, count)
 	}
 	if cap(sr.bufs.payload) < int(plen) {
@@ -195,6 +216,9 @@ func (sr *SampleReader) readBlock() (int, []byte, error) {
 		return 0, nil, fmt.Errorf("profiledata: reading block payload: %w", corruptEOF(err))
 	}
 	sr.decoded += count
+	if sr.limited {
+		sr.blocksLeft--
+	}
 	return int(count), payload, nil
 }
 
@@ -215,13 +239,22 @@ func (sr *SampleReader) appendRemaining(dst []pebs.Sample) ([]pebs.Sample, error
 			dst = append(dst, block...)
 		}
 	}
-	// The header's count hint sizes the slice in one allocation. It is
-	// clamped like a block count so a forged header cannot demand more
-	// memory than the existing per-block bound already allows; a hint the
-	// blocks don't live up to is rejected at the terminator.
+	// The header's count hint sizes the slice in one allocation — that is
+	// the whole point of writing the total, so a multi-block trace must not
+	// be clamped back to one block's worth and regrown. The hint still
+	// cannot demand more memory than the input could plausibly hold: when
+	// the input size is knowable it is capped at the bytes actually present
+	// over the minimum encoded sample size (so a forged header over a tiny
+	// file allocates almost nothing), otherwise at one block's worth — the
+	// bound readBlock enforces per block anyway. A hint the blocks don't
+	// live up to is rejected at the terminator.
 	if hint := sr.total; hint > 0 && dst == nil {
-		if hint > maxBlockSamples {
-			hint = maxBlockSamples
+		limit := uint64(maxBlockSamples)
+		if sr.avail >= 0 {
+			limit = uint64(sr.avail) / minSampleEncoded
+		}
+		if hint > limit {
+			hint = limit
 		}
 		dst = make([]pebs.Sample, 0, hint)
 	}
@@ -239,6 +272,23 @@ func (sr *SampleReader) appendRemaining(dst []pebs.Sample) ([]pebs.Sample, error
 			return dst[:n], err
 		}
 	}
+}
+
+// inputSize reports the byte size of the underlying input when it is
+// cheaply knowable — regular files and the in-memory readers — and -1
+// otherwise. It is only an upper bound used to sanity-check allocation
+// hints, so the full size (rather than the bytes left after the current
+// read position) is good enough.
+func inputSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case *os.File:
+		if fi, err := v.Stat(); err == nil && fi.Mode().IsRegular() {
+			return fi.Size()
+		}
+	case interface{ Size() int64 }: // bytes.Reader, strings.Reader, io.SectionReader
+		return v.Size()
+	}
+	return -1
 }
 
 // corruptEOF upgrades a bare EOF inside a structure to ErrUnexpectedEOF so

@@ -22,6 +22,11 @@
 #                     1M-sample bench trace less than this many times faster
 #                     than CSV (BenchmarkTraceDecode csv/binary ns ratio;
 #                     core-count independent)
+#   MIN_SHARD_SPEEDUP when set, fail if BenchmarkShardAnalyze's
+#                     serial/parallel wall-clock ratio falls below this
+#                     value (block-parallel analysis of one indexed
+#                     recording); skipped with a warning on hosts with
+#                     fewer than 4 cores
 #
 # The benchmarks tracked here cover the simulation hot path end to end plus
 # the offline trace pipeline: a full contended engine run, the batch
@@ -35,7 +40,7 @@ cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_engine.json}
 benchtime=${BENCHTIME:-2s}
-pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace)$'
+pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace|BenchmarkShardAnalyze)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -69,19 +74,25 @@ END {
     printf "  },\n" >> out
     # parallel_speedup: serial/parallel wall-clock ratios. batch is the
     # cross-run pool (BenchmarkBatchEvaluation), window is one run sharded
-    # across workers (BenchmarkEngineContendedRun workers=1 vs workers=max).
-    # Both degenerate to ~1.0 on a single-core host.
+    # across workers (BenchmarkEngineContendedRun workers=1 vs workers=max),
+    # shard is the block-parallel analysis of one indexed recording
+    # (BenchmarkShardAnalyze). All degenerate to ~1.0 on a single-core host.
     bs = nsv["BenchmarkBatchEvaluation/serial"]
     bp = nsv["BenchmarkBatchEvaluation/parallel"]
     w1 = nsv["BenchmarkEngineContendedRun/workers=1"]
     wm = nsv["BenchmarkEngineContendedRun/workers=max"]
+    ss = nsv["BenchmarkShardAnalyze/serial"]
+    sp = nsv["BenchmarkShardAnalyze/parallel"]
     printf "  \"parallel_speedup\": {" >> out
     sep = ""
     if (bs != "" && bp != "" && bp + 0 > 0) {
         printf "\"batch\": %.2f", bs / bp >> out; sep = ", "
     }
     if (w1 != "" && wm != "" && wm + 0 > 0) {
-        printf "%s\"window\": %.2f", sep, w1 / wm >> out
+        printf "%s\"window\": %.2f", sep, w1 / wm >> out; sep = ", "
+    }
+    if (ss != "" && sp != "" && sp + 0 > 0) {
+        printf "%s\"shard\": %.2f", sep, ss / sp >> out
     }
     printf "},\n" >> out
     # trace_codec: binary-vs-CSV decode speedup and file-size ratio on the
@@ -186,4 +197,25 @@ if [ -n "${MIN_DECODE_SPEEDUP:-}" ]; then
         exit 1
     fi
     echo "decode gate: binary decode ${dspeed}x >= ${MIN_DECODE_SPEEDUP}x faster than CSV"
+fi
+
+if [ -n "${MIN_SHARD_SPEEDUP:-}" ]; then
+    if [ "$cores" -lt 4 ]; then
+        echo "shard gate: skipped ($cores cores; needs >= 4 for a meaningful ratio)" >&2
+    else
+        sspeed=$(awk '
+        /^BenchmarkShardAnalyze\/serial/   { for (i = 2; i <= NF; i++) if ($i == "ns/op") s = $(i-1) }
+        /^BenchmarkShardAnalyze\/parallel/ { for (i = 2; i <= NF; i++) if ($i == "ns/op") p = $(i-1) }
+        END { if (s != "" && p != "" && p + 0 > 0) printf "%.2f", s / p }
+        ' "$raw")
+        if [ -z "$sspeed" ]; then
+            echo "shard gate: BenchmarkShardAnalyze serial/parallel not found in output" >&2
+            exit 1
+        fi
+        if awk -v s="$sspeed" -v min="$MIN_SHARD_SPEEDUP" 'BEGIN { exit !(s < min) }'; then
+            echo "shard gate: shard speedup ${sspeed}x below minimum ${MIN_SHARD_SPEEDUP}x on $cores cores" >&2
+            exit 1
+        fi
+        echo "shard gate: shard speedup ${sspeed}x >= ${MIN_SHARD_SPEEDUP}x"
+    fi
 fi

@@ -4,7 +4,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 
+	"drbw/internal/alloc"
 	"drbw/internal/core"
 	"drbw/internal/diagnose"
 	"drbw/internal/features"
@@ -24,6 +29,8 @@ const (
 	FormatCSV TraceFormat = "csv"
 	// FormatBinary is the binary columnar format (v3) — several times
 	// smaller and faster to decode, the right choice for large traces.
+	// Written with the block index footer, so AnalyzeTraceFile can fan the
+	// blocks across the worker pool.
 	FormatBinary TraceFormat = "binary"
 )
 
@@ -50,7 +57,7 @@ func (td *TraceData) SaveAs(samplesPath, objectsPath string, format TraceFormat)
 		}
 	case FormatBinary:
 		writeSamples = func(w io.Writer) error {
-			return profiledata.WriteSamplesBinary(w, samples, weight, profiledata.BinaryOptions{})
+			return profiledata.WriteSamplesBinary(w, samples, weight, profiledata.BinaryOptions{Index: true})
 		}
 	default:
 		return fmt.Errorf("drbw: unknown trace format %q (want %q or %q)", format, FormatCSV, FormatBinary)
@@ -78,20 +85,86 @@ type traceScratch struct {
 	acc  *features.Accumulator
 }
 
+// testHookBetweenPasses, when non-nil, runs between the serial path's two
+// streaming passes. Tests use it to mutate the recording mid-analysis and
+// prove the pass-two consistency check fires.
+var testHookBetweenPasses func()
+
+// timeRange restricts an analysis to samples with Time in [lo, hi]
+// (inclusive). The zero value keeps everything.
+type timeRange struct {
+	lo, hi  float64
+	limited bool
+}
+
+func fullRange() timeRange { return timeRange{} }
+
+// filter compacts block, in place, down to the samples inside the range.
+func (tr timeRange) filter(block []pebs.Sample) []pebs.Sample {
+	if !tr.limited {
+		return block
+	}
+	out := block[:0]
+	for i := range block {
+		if s := &block[i]; s.Time >= tr.lo && s.Time <= tr.hi {
+			out = append(out, *s)
+		}
+	}
+	return out
+}
+
+// skipBlock prunes an indexed block whose whole time range misses tr.
+func (tr timeRange) skipBlock(e profiledata.IndexEntry) bool {
+	return tr.limited && (e.MaxTime < tr.lo || e.MinTime > tr.hi)
+}
+
 // AnalyzeTraceFile runs the AnalyzeTrace pipeline directly off a recording
-// on disk, streaming the samples file block by block instead of
-// materializing the trace: peak memory is bounded by the decode block
-// size regardless of recording length. Both formats are autodetected. The
-// report is bit-identical to LoadTrace + AnalyzeTrace on the same files.
+// on disk. When the samples file carries a block index (binary recordings
+// written by this tool), the blocks are fanned across the shared worker
+// pool: each worker streams its own block range with its own decode
+// scratch into mergeable accumulators, and the merged result is
+// bit-identical to the serial analysis at any worker count. Unindexed
+// recordings (CSV, compressed, foreign) stream serially block by block;
+// either way peak memory is bounded by block size × workers, never by the
+// recording length, and the report is bit-identical to LoadTrace +
+// AnalyzeTrace on the same files.
 func (t *Tool) AnalyzeTraceFile(samplesPath, objectsPath string) (*Report, error) {
-	return t.analyzeTraceFile(samplesPath, objectsPath, &traceScratch{acc: features.NewAccumulator(t.machine)})
+	return t.analyzeTraceFileRange(samplesPath, objectsPath, fullRange())
+}
+
+// AnalyzeTraceFileRange is AnalyzeTraceFile restricted to samples with
+// Time in [lo, hi] (inclusive): the report is exactly AnalyzeTrace over
+// the recording with every other sample dropped. On an indexed recording,
+// blocks whose time range misses the window are never read at all.
+func (t *Tool) AnalyzeTraceFileRange(samplesPath, objectsPath string, lo, hi float64) (*Report, error) {
+	if !(lo <= hi) {
+		return nil, fmt.Errorf("drbw: invalid time range [%v, %v]", lo, hi)
+	}
+	return t.analyzeTraceFileRange(samplesPath, objectsPath, timeRange{lo: lo, hi: hi, limited: true})
+}
+
+func (t *Tool) analyzeTraceFileRange(samplesPath, objectsPath string, tr timeRange) (*Report, error) {
+	objects, err := readObjectsFile(objectsPath)
+	if err != nil {
+		return nil, err
+	}
+	if it, err := profiledata.OpenIndexedTrace(samplesPath); err == nil {
+		defer it.Close()
+		return t.analyzeIndexed(it, objects, tr)
+	}
+	// No usable index — CSV, compressed, foreign, or a damaged footer. The
+	// streaming path ignores trailing footers entirely, so it analyzes
+	// everything the serial reader can; a genuinely missing or unreadable
+	// file resurfaces through the streaming open below.
+	return t.analyzeTraceFileSerial(samplesPath, objects, &traceScratch{acc: features.NewAccumulator(t.machine)}, tr)
 }
 
 // AnalyzeTraceFiles is AnalyzeTraceFile over a batch of recordings on the
 // shared worker pool, with the AnalyzeTraces partial-result semantics:
 // reports[i] is nil exactly when recording i failed, and a *BatchError
-// aggregates the failures. Decode buffers and accumulators are per-worker,
-// so the batch allocates like a handful of serial analyses.
+// aggregates the failures. Each recording is analyzed serially — the batch
+// itself is the parallelism — with per-worker decode buffers and
+// accumulators, so the batch allocates like a handful of serial analyses.
 func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
 	reports := make([]*Report, len(paths))
 	errs := make([]error, len(paths))
@@ -99,7 +172,8 @@ func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
 	core.ParallelForLabeledWorker(len(paths), "analyze.tracefiles", func(i, w int) {
 		if w >= len(scratch) {
 			// The pool width changed mid-call; fall back to fresh scratch.
-			reports[i], errs[i] = t.AnalyzeTraceFile(paths[i].Samples, paths[i].Objects)
+			fresh := &traceScratch{acc: features.NewAccumulator(t.machine)}
+			reports[i], errs[i] = t.analyzeTraceFile(paths[i].Samples, paths[i].Objects, fresh)
 			return
 		}
 		if scratch[w] == nil {
@@ -119,28 +193,346 @@ func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
 	return reports, nil
 }
 
-func (t *Tool) analyzeTraceFile(samplesPath, objectsPath string, sc *traceScratch) (*Report, error) {
-	of, err := os.Open(objectsPath)
-	if err != nil {
-		return nil, fmt.Errorf("drbw: %w", err)
+// AnalyzeTraceShards analyzes one logical recording that was captured as
+// several sample files — shards — sharing a single objects table. All
+// shards must carry the same collector weight. Shards are analyzed
+// concurrently on the worker pool and the merged report is bit-identical
+// to analyzing the concatenation of the shards in order.
+func (t *Tool) AnalyzeTraceShards(samplePaths []string, objectsPath string) (*Report, error) {
+	if len(samplePaths) == 0 {
+		return nil, fmt.Errorf("drbw: no sample shards given")
 	}
-	objects, err := profiledata.ReadObjects(of)
-	of.Close()
+	objects, err := readObjectsFile(objectsPath)
 	if err != nil {
 		return nil, err
 	}
+	// The timeline and the merge checks need the weight before the fan-out;
+	// take it from the first shard and hold every other shard to it.
+	weight, err := readTraceWeight(samplePaths[0])
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]shardJob, len(samplePaths))
+	for i, path := range samplePaths {
+		path := path
+		jobs[i] = func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error {
+			f, err := os.Open(path)
+			if err != nil {
+				return fmt.Errorf("drbw: %w", err)
+			}
+			defer f.Close()
+			sr, err := profiledata.NewSampleReaderBuffers(f, bufs)
+			if err != nil {
+				return err
+			}
+			if sr.Weight() != weight {
+				return fmt.Errorf("drbw: shard %s has weight %v, the first shard has %v", path, sr.Weight(), weight)
+			}
+			return drainReader(sr, emit)
+		}
+	}
+	return t.analyzeJobs(jobs, weight, objects, fullRange(), "analyze.shards")
+}
 
+// AnalyzeTraceShardDir is AnalyzeTraceShards over a directory: every
+// "*.samples.*" file (sorted by name) is a shard, and the single
+// "*.objects.csv" file is the shared objects table.
+func (t *Tool) AnalyzeTraceShardDir(dir string) (*Report, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("drbw: %w", err)
+	}
+	var shards []string
+	var objects []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.Contains(name, ".samples."):
+			shards = append(shards, filepath.Join(dir, name))
+		case strings.HasSuffix(name, ".objects.csv"):
+			objects = append(objects, filepath.Join(dir, name))
+		}
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("drbw: no *.samples.* shards in %s", dir)
+	}
+	if len(objects) != 1 {
+		return nil, fmt.Errorf("drbw: %s holds %d *.objects.csv files, want exactly one", dir, len(objects))
+	}
+	sort.Strings(shards)
+	return t.AnalyzeTraceShards(shards, objects[0])
+}
+
+// shardJob streams one independently decodable portion of a recording — a
+// block range of an indexed trace, or one whole shard file — through emit,
+// using the worker's decode scratch. A job must yield the same samples
+// every time it runs (both passes replay it).
+type shardJob func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error
+
+// analyzeIndexed fans the blocks of one indexed recording across the
+// worker pool as contiguous block-range jobs.
+func (t *Tool) analyzeIndexed(it *profiledata.IndexedTrace, objects []alloc.Object, tr timeRange) (*Report, error) {
+	// Keep only blocks whose time range intersects tr, grouped into maximal
+	// contiguous runs (block time ranges need not be sorted, so pruning can
+	// split the keep-set).
+	type run struct{ from, to int }
+	var runs []run
+	kept := 0
+	for b := 0; b < it.Blocks(); b++ {
+		if tr.skipBlock(it.Entry(b)) {
+			continue
+		}
+		kept++
+		if n := len(runs); n > 0 && runs[n-1].to == b {
+			runs[n-1].to = b + 1
+		} else {
+			runs = append(runs, run{from: b, to: b + 1})
+		}
+	}
+	if kept == 0 {
+		return nil, errNoSamples(tr, it.TotalSamples())
+	}
+	// Split the runs into ~4 chunks per worker so stragglers rebalance,
+	// without degenerating into per-block jobs on small traces.
+	blocksPerChunk := kept / (core.PoolWorkers() * 4)
+	if blocksPerChunk < 1 {
+		blocksPerChunk = 1
+	}
+	var jobs []shardJob
+	for _, r := range runs {
+		for from := r.from; from < r.to; from += blocksPerChunk {
+			to := from + blocksPerChunk
+			if to > r.to {
+				to = r.to
+			}
+			from, to := from, to
+			jobs = append(jobs, func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error {
+				sr, err := it.RangeReader(from, to, bufs)
+				if err != nil {
+					return err
+				}
+				return drainReader(sr, emit)
+			})
+		}
+	}
+	return t.analyzeJobs(jobs, it.Weight(), objects, tr, "analyze.blocks")
+}
+
+// drainReader feeds every remaining block of sr to emit.
+func drainReader(sr *profiledata.SampleReader, emit func([]pebs.Sample) error) error {
+	for {
+		block, err := sr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(block); err != nil {
+			return err
+		}
+	}
+}
+
+// shardState is one worker's mergeable accumulator set. Pass one fills
+// bufs/acc/tl/raw; pass two reuses bufs and fills tlf/cf/raw.
+type shardState struct {
+	bufs profiledata.Buffers
+	acc  *features.Accumulator
+	tl   *diagnose.TimelineAccumulator
+	tlf  *diagnose.TimelineAccumulator
+	cf   *diagnose.CFAccumulator
+	raw  int64 // samples streamed, before time filtering
+	kept int64 // samples analyzed, after time filtering
+}
+
+// shardStates hands out per-worker state under a lock, growing the slice
+// if the pool width changes mid-call — a dropped worker state would
+// silently lose that worker's samples from the merge.
+type shardStates struct {
+	mu     sync.Mutex
+	states []*shardState
+	make   func() *shardState
+}
+
+func (ss *shardStates) get(w int) *shardState {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for len(ss.states) <= w {
+		ss.states = append(ss.states, nil)
+	}
+	if ss.states[w] == nil {
+		ss.states[w] = ss.make()
+	}
+	return ss.states[w]
+}
+
+// analyzeJobs is the shared two-pass shard runner: every job is streamed
+// once to build features and the timeline range, and once more to bucket
+// the timeline and attribute CF. Per-worker accumulators merge in worker
+// order; counts are integers and sums are exact, so the merged report is
+// bit-identical to the serial pipeline over the jobs' concatenated samples
+// regardless of worker count or scheduling. Errors surface from the
+// lowest-indexed failing job so reruns are deterministic.
+func (t *Tool) analyzeJobs(jobs []shardJob, weight float64, objects []alloc.Object, tr timeRange, label string) (*Report, error) {
+	// Pass one: validate, extract features, find the time range.
+	ss := &shardStates{make: func() *shardState {
+		return &shardState{
+			acc: features.NewAccumulator(t.machine),
+			tl:  diagnose.NewTimelineAccumulator(timelineBuckets, weight),
+		}
+	}}
+	rawPass1 := make([]int64, len(jobs))
+	errs := make([]error, len(jobs))
+	core.ParallelForLabeledWorker(len(jobs), label, func(i, w int) {
+		st := ss.get(w)
+		start := st.raw
+		errs[i] = jobs[i](&st.bufs, func(block []pebs.Sample) error {
+			st.raw += int64(len(block))
+			block = tr.filter(block)
+			st.kept += int64(len(block))
+			for j := range block {
+				s := &block[j]
+				if s.SrcNode < 0 || int(s.SrcNode) >= t.machine.Nodes() ||
+					s.HomeNode < 0 || int(s.HomeNode) >= t.machine.Nodes() {
+					return fmt.Errorf("drbw: sample references node outside the %d-node machine", t.machine.Nodes())
+				}
+			}
+			st.acc.Add(block)
+			st.tl.Observe(block)
+			return nil
+		})
+		rawPass1[i] = st.raw - start
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+
+	acc := features.NewAccumulator(t.machine)
+	tl := diagnose.NewTimelineAccumulator(timelineBuckets, weight)
+	var total int64
+	for _, st := range ss.states {
+		if st == nil {
+			continue
+		}
+		if err := acc.Merge(st.acc); err != nil {
+			return nil, err
+		}
+		if err := tl.Merge(st.tl); err != nil {
+			return nil, err
+		}
+		total += st.kept
+	}
+	if total == 0 {
+		raw := 0
+		for i := range rawPass1 {
+			raw += int(rawPass1[i])
+		}
+		return nil, errNoSamples(tr, raw)
+	}
+
+	rep := &Report{}
+	contended := t.classify(acc, weight, rep)
+
+	// Pass two: bucket the timeline and, when contended, attribute CF
+	// through the recorded allocation table. Fork clones share tl's frozen
+	// geometry; each worker counts alone and merges back exactly.
+	var table *profiledata.Table
+	if rep.Detected {
+		var err error
+		if table, err = profiledata.NewTable(objects); err != nil {
+			return nil, err
+		}
+	}
+	ss2 := &shardStates{make: func() *shardState {
+		st := &shardState{tlf: tl.Fork()}
+		if table != nil {
+			st.cf = diagnose.NewCFAccumulator(table, contended, weight)
+		}
+		return st
+	}}
+	// Reuse pass-one decode buffers where the worker indices line up.
+	ss2.states = make([]*shardState, len(ss.states))
+	for w, st := range ss.states {
+		if st == nil {
+			continue
+		}
+		s2 := ss2.make()
+		s2.bufs = st.bufs
+		ss2.states[w] = s2
+	}
+	rawPass2 := make([]int64, len(jobs))
+	core.ParallelForLabeledWorker(len(jobs), label, func(i, w int) {
+		st := ss2.get(w)
+		start := st.raw
+		errs[i] = jobs[i](&st.bufs, func(block []pebs.Sample) error {
+			st.raw += int64(len(block))
+			block = tr.filter(block)
+			st.tlf.Add(block)
+			if st.cf != nil {
+				st.cf.Add(block)
+			}
+			return nil
+		})
+		rawPass2[i] = st.raw - start
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	for i := range jobs {
+		if rawPass1[i] != rawPass2[i] {
+			return nil, fmt.Errorf("drbw: recording changed during analysis (portion %d held %d samples, then %d)", i, rawPass1[i], rawPass2[i])
+		}
+	}
+	var cf *diagnose.CFAccumulator
+	if table != nil {
+		cf = diagnose.NewCFAccumulator(table, contended, weight)
+	}
+	for _, st := range ss2.states {
+		if st == nil {
+			continue
+		}
+		if err := tl.Merge(st.tlf); err != nil {
+			return nil, err
+		}
+		if cf != nil {
+			if err := cf.Merge(st.cf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t.finishReport(rep, tl, cf)
+}
+
+// analyzeTraceFile is the serial streaming analysis used by the batch path
+// (which parallelizes across recordings, not within them).
+func (t *Tool) analyzeTraceFile(samplesPath, objectsPath string, sc *traceScratch) (*Report, error) {
+	objects, err := readObjectsFile(objectsPath)
+	if err != nil {
+		return nil, err
+	}
+	return t.analyzeTraceFileSerial(samplesPath, objects, sc, fullRange())
+}
+
+func (t *Tool) analyzeTraceFileSerial(samplesPath string, objects []alloc.Object, sc *traceScratch, tr timeRange) (*Report, error) {
 	// Pass one: validate, extract features, find the time range.
 	sc.acc.Reset()
 	var (
 		weight float64
 		tl     *diagnose.TimelineAccumulator
-		total  int
+		raw1   int64
+		kept   int64
 	)
-	err = t.streamSamples(samplesPath, sc, func(w float64) {
+	err := t.streamSamples(samplesPath, sc, func(w float64) {
 		weight = w
 		tl = diagnose.NewTimelineAccumulator(timelineBuckets, w)
 	}, func(block []pebs.Sample) error {
+		raw1 += int64(len(block))
+		block = tr.filter(block)
+		kept += int64(len(block))
 		for i := range block {
 			s := &block[i]
 			if s.SrcNode < 0 || int(s.SrcNode) >= t.machine.Nodes() ||
@@ -150,19 +542,62 @@ func (t *Tool) analyzeTraceFile(samplesPath, objectsPath string, sc *traceScratc
 		}
 		sc.acc.Add(block)
 		tl.Observe(block)
-		total += len(block)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	if total == 0 {
-		return nil, fmt.Errorf("drbw: recording has no samples")
+	if kept == 0 {
+		return nil, errNoSamples(tr, int(raw1))
 	}
 
 	rep := &Report{}
+	contended := t.classify(sc.acc, weight, rep)
+
+	// Pass two: bucket the timeline and, when contended, attribute CF
+	// through the recorded allocation table. The recording is re-read from
+	// disk, so before trusting it the pass re-checks what pass one
+	// established: same weight, same sample count. A recording that was
+	// swapped or appended to between the passes would otherwise be
+	// classified from one set of samples and diagnosed from another.
+	if testHookBetweenPasses != nil {
+		testHookBetweenPasses()
+	}
+	var cf *diagnose.CFAccumulator
+	if rep.Detected {
+		table, err := profiledata.NewTable(objects)
+		if err != nil {
+			return nil, err
+		}
+		cf = diagnose.NewCFAccumulator(table, contended, weight)
+	}
+	var raw2 int64
+	var weight2 float64
+	err = t.streamSamples(samplesPath, sc, func(w float64) {
+		weight2 = w
+	}, func(block []pebs.Sample) error {
+		raw2 += int64(len(block))
+		block = tr.filter(block)
+		tl.Add(block)
+		if cf != nil {
+			cf.Add(block)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if weight2 != weight || raw2 != raw1 {
+		return nil, fmt.Errorf("drbw: recording changed during analysis (weight %v then %v, %d then %d samples)", weight, weight2, raw1, raw2)
+	}
+	return t.finishReport(rep, tl, cf)
+}
+
+// classify runs the trained tree over the accumulated per-channel vectors,
+// marks the report, and returns the contended channels in stable order.
+func (t *Tool) classify(acc *features.Accumulator, weight float64, rep *Report) []topology.Channel {
 	var contended []topology.Channel
-	for ch, vec := range sc.acc.Vectors(weight, t.detector.MinSamples) {
+	for ch, vec := range acc.Vectors(weight, t.detector.MinSamples) {
 		v := vec
 		label := features.Label(t.tree.Predict(v[:]))
 		core.CountPrediction(label)
@@ -176,29 +611,14 @@ func (t *Tool) analyzeTraceFile(samplesPath, objectsPath string, sc *traceScratc
 	for _, ch := range contended {
 		rep.Channels = append(rep.Channels, ch.String())
 	}
+	return contended
+}
 
-	// Pass two: bucket the timeline and, when contended, attribute CF
-	// through the recorded allocation table.
-	var cf *diagnose.CFAccumulator
-	if rep.Detected {
-		table, err := profiledata.NewTable(objects)
-		if err != nil {
-			return nil, err
-		}
-		cf = diagnose.NewCFAccumulator(table, contended, weight)
-	}
-	err = t.streamSamples(samplesPath, sc, nil, func(block []pebs.Sample) error {
-		tl.Add(block)
-		if cf != nil {
-			cf.Add(block)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
+// finishReport attaches the timeline and, when a CF accumulator ran, the
+// object attribution.
+func (t *Tool) finishReport(rep *Report, tl *diagnose.TimelineAccumulator, cf *diagnose.CFAccumulator) (*Report, error) {
 	rep.attachTimeline(tl.Buckets())
-	if !rep.Detected {
+	if cf == nil {
 		return rep, nil
 	}
 	diag := cf.Report()
@@ -210,6 +630,49 @@ func (t *Tool) analyzeTraceFile(samplesPath, objectsPath string, sc *traceScratc
 	}
 	rep.UnattributedCF = diag.UnattributedCF
 	return rep, nil
+}
+
+// errNoSamples distinguishes an empty recording from a time window that
+// excluded everything.
+func errNoSamples(tr timeRange, rawSamples int) error {
+	if tr.limited && rawSamples > 0 {
+		return fmt.Errorf("drbw: no samples in time range [%v, %v]", tr.lo, tr.hi)
+	}
+	return fmt.Errorf("drbw: recording has no samples")
+}
+
+// firstError returns the error of the lowest-indexed failing job.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readObjectsFile loads a recorded objects table.
+func readObjectsFile(path string) ([]alloc.Object, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("drbw: %w", err)
+	}
+	defer f.Close()
+	return profiledata.ReadObjects(f)
+}
+
+// readTraceWeight opens a recording just long enough to read its weight.
+func readTraceWeight(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("drbw: %w", err)
+	}
+	defer f.Close()
+	sr, err := profiledata.NewSampleReader(f)
+	if err != nil {
+		return 0, err
+	}
+	return sr.Weight(), nil
 }
 
 // streamSamples opens the samples file and feeds every decoded block to
