@@ -23,7 +23,9 @@ import (
 	"drbw/internal/memsim"
 	"drbw/internal/micro"
 	"drbw/internal/optimize"
+	"drbw/internal/pebs"
 	"drbw/internal/program"
+	"drbw/internal/search"
 	"drbw/internal/topology"
 	"drbw/internal/trace"
 	"drbw/internal/workloads"
@@ -407,6 +409,72 @@ func BenchmarkEngineContendedRun(b *testing.B) {
 	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
 	b.Run("workers=2", func(b *testing.B) { run(b, 2) })
 	b.Run("workers=max", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkOptimizerSearch times the closed-loop placement search on a
+// two-hot-object contended case (16 candidate placements) at three
+// settings: serial exhaustive (every candidate simulated to completion,
+// one at a time — the naive baseline), parallel exhaustive (same work over
+// the worker pool), and pruned (the default branch-and-bound: analytic
+// frontier cut plus incumbent cycle budget, in parallel). All three choose
+// the same placement; scripts/bench.sh gates serial/pruned wall clock via
+// MIN_OPTIMIZER_SPEEDUP on hosts with >= 4 cores.
+func BenchmarkOptimizerSearch(b *testing.B) {
+	m := topology.XeonE5_4650()
+	bld := micro.Dotv(micro.BigCentralized, 0)
+	cfg := program.Config{Threads: 32, Nodes: 4, Input: "default", Seed: 71}
+	ecfg := engine.Config{Window: 2048, Warmup: 512, ReservoirSize: 256, Seed: 21}
+
+	// Profile once; every search variant reuses the same detection state,
+	// so the benchmark isolates the search itself.
+	p, err := bld.New(m, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := pebs.NewCollector(core.DefaultCollectorConfig(), 72)
+	prof := ecfg
+	prof.Collector = col
+	prof.Seed = 73
+	if _, err := p.Run(prof); err != nil {
+		b.Fatal(err)
+	}
+	in := search.Input{
+		Builder: bld, Machine: m, Cfg: cfg,
+		Heap: p.Heap, Samples: col.Samples(), Weight: col.Weight(),
+	}
+
+	var bestKey string
+	run := func(b *testing.B, scfg search.Config) {
+		b.ReportAllocs()
+		var res *search.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = search.Run(in, ecfg, scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Best == nil {
+				b.Fatal("search found no placement")
+			}
+		}
+		b.StopTimer()
+		if bestKey == "" {
+			bestKey = res.Best.Candidate.Key()
+		} else if got := res.Best.Candidate.Key(); got != bestKey {
+			b.Fatalf("variants disagree on the placement: %q vs %q", got, bestKey)
+		}
+		b.ReportMetric(res.Speedup(), "placement-speedup-x")
+		b.ReportMetric(float64(res.Explored), "explored/op")
+	}
+	b.Run("serial", func(b *testing.B) {
+		run(b, search.Config{Frontier: -1, DisableBudget: true, Workers: 1})
+	})
+	b.Run("parallel", func(b *testing.B) {
+		run(b, search.Config{Frontier: -1, DisableBudget: true})
+	})
+	b.Run("pruned", func(b *testing.B) {
+		run(b, search.Config{})
+	})
 }
 
 func BenchmarkInterleaveGroundTruthProbe(b *testing.B) {

@@ -44,6 +44,7 @@ import (
 	"drbw/internal/optimize"
 	"drbw/internal/pebs"
 	"drbw/internal/program"
+	"drbw/internal/search"
 	"drbw/internal/topology"
 	"drbw/internal/workloads"
 )
@@ -448,9 +449,94 @@ func (t *Tool) Optimize(bench string, c Case, s Strategy, objects ...string) (Co
 	if err != nil {
 		return Comparison{}, err
 	}
+	return publicComparison(cmp), nil
+}
+
+func publicComparison(cmp optimize.Comparison) Comparison {
 	return Comparison{
 		BaseCycles: cmp.BaseCycles, OptCycles: cmp.OptCycles,
 		PhaseSpeedups:   append([]float64(nil), cmp.PhaseSpeedups...),
 		RemoteReduction: cmp.RemoteReduction, LatencyReduction: cmp.LatencyReduction,
-	}, nil
+	}
+}
+
+// SearchOptions tunes AutoOptimize's placement search. The zero value uses
+// the defaults (top 3 objects, frontier of 12, branch-and-bound pruning on,
+// GOMAXPROCS workers).
+type SearchOptions struct {
+	// TopObjects caps how many top-CF objects the search combines (<= 0: 3).
+	TopObjects int
+	// Frontier is how many top-scoring candidates are simulated (0: 12;
+	// negative: all — exhaustive).
+	Frontier int
+	// Workers bounds the candidate-simulation fan-out (0: GOMAXPROCS).
+	// The chosen placement is identical at any setting.
+	Workers int
+	// Exhaustive disables both the frontier cut and the cycle-budget bound.
+	Exhaustive bool
+}
+
+// Optimization is AutoOptimize's outcome: the detection report plus — when
+// contention was detected — the placement the search chose.
+type Optimization struct {
+	// Report is the detection + diagnosis of the profiled case.
+	Report *Report
+	// Detected mirrors Report.Detected.
+	Detected bool
+	// Placement is the chosen fix in canonical "obj=strategy,..." form
+	// ("*=interleave" for the whole-program probe); empty when nothing was
+	// detected or no candidate completed.
+	Placement string
+	// Speedup is the baseline-to-chosen cycle ratio.
+	Speedup float64
+	// Comparison details the chosen placement against the baseline.
+	Comparison Comparison
+	// Candidates, Explored, Pruned and AbortedRuns describe the search:
+	// how many placements were enumerated, simulated, cut by the analytic
+	// frontier, and cut short by the cycle budget.
+	Candidates, Explored, Pruned, AbortedRuns int
+}
+
+// AutoOptimize closes the paper's loop: profile and classify one case
+// (exactly as Analyze), and — when contention is detected — search the
+// placement space over the diagnosed objects for the best fix. Candidates
+// are ranked by an analytic cost model; only the top-scoring frontier is
+// simulated, in parallel, under a branch-and-bound cycle budget. The chosen
+// placement is deterministic at any worker count.
+func (t *Tool) AutoOptimize(bench string, c Case, opts SearchOptions) (*Optimization, error) {
+	b, err := t.builder(bench)
+	if err != nil {
+		return nil, err
+	}
+	dn, err := t.detector.Detect(b, t.machine, c.config())
+	if err != nil {
+		return nil, err
+	}
+	out := &Optimization{Report: reportFromDetection(dn), Detected: dn.Detected}
+	if !dn.Detected {
+		return out, nil
+	}
+	scfg := search.Config{
+		TopObjects: opts.TopObjects,
+		Frontier:   opts.Frontier,
+		Workers:    opts.Workers,
+	}
+	if opts.Exhaustive {
+		scfg.Frontier = -1
+		scfg.DisableBudget = true
+	}
+	res, err := search.FromDetection(dn, t.cfg.engineConfig(), scfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Candidates = len(res.Outcomes)
+	out.Explored = res.Explored
+	out.Pruned = res.Pruned
+	out.AbortedRuns = res.AbortedRuns
+	if res.Best != nil {
+		out.Placement = res.Best.Candidate.Key()
+		out.Speedup = res.Speedup()
+		out.Comparison = publicComparison(res.Best.Comparison)
+	}
+	return out, nil
 }

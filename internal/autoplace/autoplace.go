@@ -103,10 +103,13 @@ type ObjectAction struct {
 	RemoteFraction float64
 }
 
-// access tallies per-object or per-page observations.
+// access tallies per-object or per-page observations. byNode is a flat
+// per-node counter slice sized by the machine's node count: the per-sample
+// hot path indexes it directly instead of allocating and probing a map,
+// which dominates PlanObjects/PlanPages on large traces.
 type access struct {
 	total, remote, writes int
-	byNode                map[topology.NodeID]int
+	byNode                []int
 }
 
 func tally(a *access, s pebs.Sample) {
@@ -117,10 +120,9 @@ func tally(a *access, s pebs.Sample) {
 	if s.Write {
 		a.writes++
 	}
-	if a.byNode == nil {
-		a.byNode = map[topology.NodeID]int{}
+	if n := int(s.SrcNode); n >= 0 && n < len(a.byNode) {
+		a.byNode[n]++
 	}
-	a.byNode[s.SrcNode]++
 }
 
 func decide(a *access, cfg Config) (Rule, topology.NodeID) {
@@ -130,11 +132,13 @@ func decide(a *access, cfg Config) (Rule, topology.NodeID) {
 	if float64(a.remote)/float64(a.total) < cfg.RemoteFraction {
 		return Keep, topology.InvalidNode
 	}
-	// Dominant single accessor: migrate to it.
+	// Dominant single accessor: migrate to it. The ascending scan with a
+	// strict comparison breaks equal-count ties toward the lowest node ID,
+	// so the decision is stable run to run.
 	bestNode, best := topology.InvalidNode, 0
 	for n, c := range a.byNode {
 		if c > best {
-			bestNode, best = n, c
+			bestNode, best = topology.NodeID(n), c
 		}
 	}
 	if float64(best)/float64(a.total) >= cfg.DominantShare {
@@ -150,6 +154,7 @@ func decide(a *access, cfg Config) (Rule, topology.NodeID) {
 // PlanObjects applies the rules at data-object granularity.
 func PlanObjects(heap *alloc.Heap, samples []pebs.Sample, cfg Config) []ObjectAction {
 	cfg = cfg.withDefaults(false)
+	nn := heap.Space().Machine().Nodes()
 	stats := map[alloc.ObjectID]*access{}
 	for _, s := range samples {
 		id, ok := heap.Lookup(s.Addr)
@@ -158,7 +163,7 @@ func PlanObjects(heap *alloc.Heap, samples []pebs.Sample, cfg Config) []ObjectAc
 		}
 		a := stats[id]
 		if a == nil {
-			a = &access{}
+			a = &access{byNode: make([]int, nn)}
 			stats[id] = a
 		}
 		tally(a, s)
@@ -210,6 +215,7 @@ type PageAction struct {
 // at profiler sampling rates most pages are never observed.
 func PlanPages(m *topology.Machine, heap *alloc.Heap, samples []pebs.Sample, cfg Config) (actions []PageAction, coverage float64) {
 	cfg = cfg.withDefaults(true)
+	nn := m.Nodes()
 	pageSize := uint64(m.PageSize())
 	stats := map[uint64]*access{}
 	for _, s := range samples {
@@ -219,7 +225,7 @@ func PlanPages(m *topology.Machine, heap *alloc.Heap, samples []pebs.Sample, cfg
 		page := s.Addr &^ (pageSize - 1)
 		a := stats[page]
 		if a == nil {
-			a = &access{}
+			a = &access{byNode: make([]int, nn)}
 			stats[page] = a
 		}
 		tally(a, s)

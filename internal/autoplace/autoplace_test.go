@@ -1,13 +1,16 @@
 package autoplace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"drbw/internal/alloc"
 	"drbw/internal/cache"
 	"drbw/internal/memsim"
+	"drbw/internal/micro"
 	"drbw/internal/pebs"
+	"drbw/internal/program"
 	"drbw/internal/topology"
 )
 
@@ -127,15 +130,140 @@ func TestPlanPagesCoverage(t *testing.T) {
 func TestDecideThresholds(t *testing.T) {
 	cfg := Config{}.withDefaults(false)
 	// Below remote fraction: keep.
-	a := &access{total: 100, remote: 10, byNode: map[topology.NodeID]int{1: 100}}
+	a := &access{total: 100, remote: 10, byNode: []int{0, 100, 0, 0}}
 	if r, _ := decide(a, cfg); r != Keep {
 		t.Errorf("mostly-local data got %v", r)
 	}
 	// Replication disabled.
 	cfgNoRep := Config{WriteFraction: -1}.withDefaults(false)
-	b := &access{total: 100, remote: 100, byNode: map[topology.NodeID]int{1: 50, 2: 50}}
+	b := &access{total: 100, remote: 100, byNode: []int{0, 50, 50, 0}}
 	if r, _ := decide(b, cfgNoRep); r != Interleave {
 		t.Errorf("read-shared with replication disabled got %v", r)
+	}
+}
+
+// TestDecideTieBreaksLowestNode pins the deterministic tie-break: when two
+// nodes account for exactly the same sample count, the migration target is
+// the lowest node ID — regression for the old map-iteration nondeterminism.
+func TestDecideTieBreaksLowestNode(t *testing.T) {
+	cfg := Config{DominantShare: 0.5}.withDefaults(false)
+	for i := 0; i < 50; i++ {
+		a := &access{total: 100, remote: 100, byNode: []int{0, 50, 50, 0}}
+		r, target := decide(a, cfg)
+		if r != Migrate || target != 1 {
+			t.Fatalf("iteration %d: tie decided %v -> N%d, want migrate -> N1", i, r, target)
+		}
+	}
+	// Same tie at the end of the node range.
+	a := &access{total: 100, remote: 100, byNode: []int{0, 0, 50, 50}}
+	if r, target := decide(a, cfg); r != Migrate || target != 2 {
+		t.Errorf("tie on nodes 2/3 decided %v -> N%d, want migrate -> N2", r, target)
+	}
+}
+
+// TestPlanObjectsTieDeterministic drives the same tie through the public
+// entry point repeatedly: equal access counts from two nodes must always
+// pick the same target.
+func TestPlanObjectsTieDeterministic(t *testing.T) {
+	cfg := Config{DominantShare: 0.5}
+	for i := 0; i < 20; i++ {
+		h, ids := heapWith(t, "tied")
+		var samples []pebs.Sample
+		for j := 0; j < 20; j++ {
+			samples = append(samples, s(h, ids["tied"], uint64(j*64), topology.NodeID(2+j%2), false))
+		}
+		actions := PlanObjects(h, samples, cfg)
+		if len(actions) != 1 || actions[0].Rule != Migrate || actions[0].Target != 2 {
+			t.Fatalf("iteration %d: %+v, want migrate -> N2", i, actions)
+		}
+	}
+}
+
+// TestApplyPagesDegradePaths pins the documented degrade behaviour: per-page
+// Replicate and Interleave decisions cannot split a region policy, so they
+// degrade to migrate-to-round-robin over the program's used nodes, while
+// pages with no decision keep whatever residency they had before the call.
+func TestApplyPagesDegradePaths(t *testing.T) {
+	m := topology.XeonE5_4650()
+	p, err := micro.Sumv(micro.BigCentralized, 0).New(m, program.Config{Threads: 8, Nodes: 2, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := p.Object("vec_a")
+	if !ok {
+		t.Fatal("no vec_a object")
+	}
+	pageSize := uint64(m.PageSize())
+	undecided := o.Base + 3*pageSize
+	before := p.Space.NodeOf(undecided)
+
+	actions := []PageAction{
+		{Page: o.Base, Rule: Migrate, Target: 1},
+		{Page: o.Base + pageSize, Rule: Replicate},
+		{Page: o.Base + 2*pageSize, Rule: Interleave},
+	}
+	if err := ApplyPages(p, actions); err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.NodesUsed()
+	if len(nodes) < 2 {
+		t.Fatalf("program uses %d nodes, need >= 2 for round-robin", len(nodes))
+	}
+	if got := p.Space.NodeOf(o.Base); got != 1 {
+		t.Errorf("migrated page on N%d, want N1", got)
+	}
+	// Replicate was action index 1, Interleave index 2: round-robin targets.
+	if got, want := p.Space.NodeOf(o.Base+pageSize), nodes[1%len(nodes)]; got != want {
+		t.Errorf("replicate page degraded to N%d, want round-robin N%d", got, want)
+	}
+	if got, want := p.Space.NodeOf(o.Base+2*pageSize), nodes[2%len(nodes)]; got != want {
+		t.Errorf("interleave page degraded to N%d, want round-robin N%d", got, want)
+	}
+	if got := p.Space.NodeOf(undecided); got != before {
+		t.Errorf("undecided page moved N%d -> N%d; must keep prior residency", before, got)
+	}
+}
+
+func TestApplyPagesNoActions(t *testing.T) {
+	m := topology.XeonE5_4650()
+	p, err := micro.Sumv(micro.BigCentralized, 0).New(m, program.Config{Threads: 8, Nodes: 2, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, _ := p.Object("vec_a")
+	before := p.Space.NodeOf(o.Base)
+	if err := ApplyPages(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Space.NodeOf(o.Base); got != before {
+		t.Errorf("no-op ApplyPages moved a page N%d -> N%d", before, got)
+	}
+}
+
+// BenchmarkPlanObjects reports the per-plan allocation cost of the flat
+// per-node counters (previously a map per object).
+func BenchmarkPlanObjects(b *testing.B) {
+	as := memsim.NewAddressSpace(topology.Uniform(4, 4))
+	h := alloc.NewHeap(as, 0x10000000)
+	var ids []alloc.ObjectID
+	for i := 0; i < 8; i++ {
+		id, err := h.Malloc(fmt.Sprintf("obj%d", i), 1<<20, alloc.Site{Func: "f"}, memsim.BindTo(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	samples := make([]pebs.Sample, 0, 8192)
+	for i := 0; i < 8192; i++ {
+		samples = append(samples, pebs.Sample{
+			Addr: h.Addr(ids[i%len(ids)], uint64(i%1024)*64), Level: cache.MEM,
+			Latency: 400, SrcNode: topology.NodeID(i % 4), HomeNode: 0, Write: i%7 == 0,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PlanObjects(h, samples, Config{})
 	}
 }
 

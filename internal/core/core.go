@@ -168,7 +168,17 @@ func ParallelFor(n int, fn func(i int)) {
 // decode buffers, feature accumulators — by w, turning per-item allocations
 // into per-worker ones without any locking.
 func ParallelForWorker(n int, fn func(i, worker int)) {
-	workers := PoolWorkers()
+	ParallelForWorkers(n, 0, fn)
+}
+
+// ParallelForWorkers is ParallelForWorker with an explicit pool width:
+// callers that must bound their own fan-out independently of the
+// process-wide pool (the placement search's worker-count-deterministic
+// waves) pass workers > 0; workers <= 0 uses PoolWorkers.
+func ParallelForWorkers(n, workers int, fn func(i, worker int)) {
+	if workers <= 0 {
+		workers = PoolWorkers()
+	}
 	if workers > n {
 		workers = n
 	}
@@ -345,6 +355,11 @@ type Detection struct {
 
 	builder program.Builder
 }
+
+// Builder returns the builder that materialized the detection's program,
+// so downstream stages (the placement search) can rebuild fresh instances
+// of the same case for candidate runs.
+func (dn *Detection) Builder() program.Builder { return dn.builder }
 
 // Detect runs one case with profiling and classifies every remote channel;
 // the case is rmc if at least one channel is (the paper's rule 1). This is

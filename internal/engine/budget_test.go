@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"drbw/internal/memsim"
+	"drbw/internal/topology"
+	"drbw/internal/trace"
+)
+
+// budgetScan runs the standard contended scan with the given config.
+func budgetScan(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	m := topology.XeonE5_4650()
+	res, _ := runScan(t, m, 16, 4, memsim.BindTo(0), cfg)
+	return res
+}
+
+func TestCycleBudgetAbortsRun(t *testing.T) {
+	full := budgetScan(t, testConfig(5))
+	if full.Aborted {
+		t.Fatal("unbudgeted run reported aborted")
+	}
+	cfg := testConfig(5)
+	cfg.CycleBudget = full.Cycles / 2
+	cut := budgetScan(t, cfg)
+	if !cut.Aborted {
+		t.Fatalf("run under budget %.0f (full %.0f) not aborted", cfg.CycleBudget, full.Cycles)
+	}
+	if cut.Cycles < cfg.CycleBudget {
+		t.Errorf("aborted run reports %.0f cycles, below the %.0f budget", cut.Cycles, cfg.CycleBudget)
+	}
+	if cut.Cycles >= full.Cycles {
+		t.Errorf("aborted run reports %.0f cycles, not cut short of %.0f", cut.Cycles, full.Cycles)
+	}
+	if len(cut.Phases) != 1 || !cut.Phases[0].Aborted {
+		t.Errorf("aborted phase not marked: %+v", cut.Phases)
+	}
+}
+
+func TestCycleBudgetAboveRunIsNoop(t *testing.T) {
+	full := budgetScan(t, testConfig(6))
+	cfg := testConfig(6)
+	cfg.CycleBudget = full.Cycles * 2
+	loose := budgetScan(t, cfg)
+	if loose.Aborted {
+		t.Fatal("budget above the full run aborted it")
+	}
+	if !reflect.DeepEqual(full, loose) {
+		t.Error("an unexercised budget changed the result")
+	}
+}
+
+func TestCycleBudgetMatchesReference(t *testing.T) {
+	base := testConfig(7)
+	full := budgetScan(t, base)
+	for _, budget := range []float64{full.Cycles / 3, full.Cycles / 2, full.Cycles * 0.9} {
+		fast := base
+		fast.CycleBudget = budget
+		ref := fast
+		ref.Reference = true
+		fr := budgetScan(t, fast)
+		rr := budgetScan(t, ref)
+		if !reflect.DeepEqual(fr, rr) {
+			t.Errorf("budget %.0f: fast and reference paths disagree\nfast: %+v\nref:  %+v", budget, fr, rr)
+		}
+	}
+}
+
+// TestCycleBudgetSkipsLaterPhases pins the cross-phase saving: once the
+// budget is spent, remaining phases are never simulated — windows included.
+func TestCycleBudgetSkipsLaterPhases(t *testing.T) {
+	m := topology.XeonE5_4650()
+	as, ph, _, _ := scanWorkload(t, m, 16, memsim.BindTo(0), 2e6)
+	ph2 := ph
+	ph2.Name = "again"
+	bind, err := EvenBinding(m, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg Config) *Result {
+		e, err := New(m, as, smallCaches(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run([]trace.Phase{ph, ph2}, bind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := run(testConfig(8))
+	if len(full.Phases) != 2 {
+		t.Fatalf("full run executed %d phases", len(full.Phases))
+	}
+	cfg := testConfig(8)
+	cfg.CycleBudget = full.Phases[0].Cycles * 1.01
+	cut := run(cfg)
+	if !cut.Aborted {
+		t.Fatal("budgeted two-phase run not aborted")
+	}
+	if len(cut.Phases) >= 2 && !cut.Phases[1].Aborted {
+		t.Errorf("second phase completed under a budget inside it: %+v", cut.Phases)
+	}
+}

@@ -71,6 +71,16 @@ type Config struct {
 	// their collector configs. The engine itself reads the flavor from the
 	// Collector.
 	SamplerFlavor pebs.Flavor
+	// CycleBudget, when positive, aborts the run once its accumulated
+	// cycles reach the budget: the integration stops at the next epoch
+	// boundary and any remaining phases — their window simulations
+	// included — are skipped, with Result.Aborted set. The placement
+	// search uses this as its branch-and-bound cutoff: a candidate run
+	// that already exceeds the incumbent's cycle count cannot win, so
+	// finishing it buys nothing. Abort points depend only on the budget
+	// and the (deterministic) simulation state, never on wall-clock time
+	// or scheduling, so budgeted runs stay bit-reproducible. 0 disables.
+	CycleBudget float64
 	// Workers bounds the goroutines that execute the window simulation.
 	// Threads are sharded by the NUMA node they are bound to (cores — and so
 	// L1/L2/LFB/prefetcher state — belong to exactly one node, and the L3 is
@@ -150,6 +160,10 @@ type ChannelStats struct {
 type PhaseResult struct {
 	Name   string
 	Cycles float64 // wall-clock cycles (slowest thread)
+	// Aborted reports that the phase stopped at an epoch boundary because
+	// the run's CycleBudget was exhausted; Cycles then holds the elapsed
+	// time at the abort, not a completion time.
+	Aborted bool
 	// ThreadCycles is each thread's completion time.
 	ThreadCycles []float64
 	Channels     map[topology.Channel]ChannelStats
@@ -165,6 +179,10 @@ type PhaseResult struct {
 type Result struct {
 	Phases []PhaseResult
 	Cycles float64
+	// Aborted reports that the run was cut off by Config.CycleBudget:
+	// Cycles is at least the budget but not a completion time, and phases
+	// after the aborted one were never simulated.
+	Aborted bool
 }
 
 // Channel returns merged stats for ch across all phases.
@@ -388,12 +406,22 @@ func (e *Engine) Run(phases []trace.Phase, bind Binding) (*Result, error) {
 		if len(ph.Threads) != len(bind) {
 			return nil, fmt.Errorf("engine: phase %q has %d threads, binding has %d", ph.Name, len(ph.Threads), len(bind))
 		}
+		if e.cfg.CycleBudget > 0 && now >= e.cfg.CycleBudget {
+			// Budget already spent: skip the remaining phases entirely,
+			// window simulations included.
+			res.Aborted = true
+			break
+		}
 		pr, err := e.runPhase(ph, bind, now, rng, uint64(pi), &st)
 		if err != nil {
 			return nil, fmt.Errorf("engine: phase %q: %w", ph.Name, err)
 		}
 		now += pr.Cycles
 		res.Phases = append(res.Phases, *pr)
+		if pr.Aborted {
+			res.Aborted = true
+			break
+		}
 	}
 	res.Cycles = now
 	if !e.cfg.Reference {
@@ -918,6 +946,10 @@ func (e *Engine) integrate(ph trace.Phase, bind Binding, profiles []*profile, st
 		}
 		now += dt
 		st.epochs++
+		if e.cfg.CycleBudget > 0 && start+now >= e.cfg.CycleBudget {
+			pr.Aborted = true
+			break
+		}
 	}
 
 	pr.Cycles = 0.0

@@ -382,6 +382,10 @@ func (e *Engine) integrateRef(ph trace.Phase, bind Binding, profiles []*refProfi
 			pr.Channels[ch] = s
 		}
 		now += dt
+		if e.cfg.CycleBudget > 0 && start+now >= e.cfg.CycleBudget {
+			pr.Aborted = true
+			break
+		}
 	}
 
 	pr.Cycles = 0.0

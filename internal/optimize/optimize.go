@@ -16,6 +16,7 @@ package optimize
 
 import (
 	"fmt"
+	"runtime"
 
 	"drbw/internal/alloc"
 	"drbw/internal/engine"
@@ -140,29 +141,8 @@ func Objects(s Strategy, names ...string) Transform {
 	return func(p *program.Program) error { return ApplyByName(p, s, names...) }
 }
 
-// Measure builds the program twice — once unmodified, once with the
-// transform applied — runs both with ecfg, and reports the comparison.
-func Measure(b program.Builder, m *topology.Machine, cfg program.Config, ecfg engine.Config, t Transform) (Comparison, error) {
-	base, err := b.New(m, cfg)
-	if err != nil {
-		return Comparison{}, err
-	}
-	baseRes, err := base.Run(ecfg)
-	if err != nil {
-		return Comparison{}, err
-	}
-	opt, err := b.New(m, cfg)
-	if err != nil {
-		return Comparison{}, err
-	}
-	if err := t(opt); err != nil {
-		return Comparison{}, err
-	}
-	optRes, err := opt.Run(ecfg)
-	if err != nil {
-		return Comparison{}, err
-	}
-
+// Compare builds the Comparison between a base and an optimized run.
+func Compare(baseRes, optRes *engine.Result) Comparison {
 	c := Comparison{BaseCycles: baseRes.Cycles, OptCycles: optRes.Cycles}
 	if len(baseRes.Phases) == len(optRes.Phases) {
 		for i := range baseRes.Phases {
@@ -179,7 +159,91 @@ func Measure(b program.Builder, m *topology.Machine, cfg program.Config, ecfg en
 	if bl := baseRes.AvgDRAMLatency(); bl > 0 {
 		c.LatencyReduction = 1 - optRes.AvgDRAMLatency()/bl
 	}
-	return c, nil
+	return c
+}
+
+// MeasureBase builds the program unmodified and runs it once: the shared
+// baseline every optimized variant of the same case compares against.
+func MeasureBase(b program.Builder, m *topology.Machine, cfg program.Config, ecfg engine.Config) (*engine.Result, error) {
+	base, err := b.New(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return base.Run(ecfg)
+}
+
+// measureOpt builds a fresh program, applies the transform and runs it.
+func measureOpt(b program.Builder, m *topology.Machine, cfg program.Config, ecfg engine.Config, t Transform) (*engine.Result, error) {
+	opt, err := b.New(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := t(opt); err != nil {
+		return nil, err
+	}
+	return opt.Run(ecfg)
+}
+
+// MeasureAgainst runs the transform's optimized variant and compares it to
+// an already-measured base run of the same case and engine configuration.
+func MeasureAgainst(baseRes *engine.Result, b program.Builder, m *topology.Machine, cfg program.Config, ecfg engine.Config, t Transform) (Comparison, error) {
+	optRes, err := measureOpt(b, m, cfg, ecfg, t)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Compare(baseRes, optRes), nil
+}
+
+// MeasureAll measures every transform against one shared base run: the
+// unmodified program is simulated exactly once, then each transform's
+// variant once — len(ts)+1 runs instead of Measure's 2×len(ts). The base
+// result is returned for callers that keep comparing against it.
+func MeasureAll(b program.Builder, m *topology.Machine, cfg program.Config, ecfg engine.Config, ts []Transform) (*engine.Result, []Comparison, error) {
+	baseRes, err := MeasureBase(b, m, cfg, ecfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]Comparison, len(ts))
+	for i, t := range ts {
+		out[i], err = MeasureAgainst(baseRes, b, m, cfg, ecfg, t)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return baseRes, out, nil
+}
+
+// Measure builds the program twice — once unmodified, once with the
+// transform applied — runs both with ecfg, and reports the comparison.
+// The two runs are independent seeded simulations, so when ecfg permits
+// parallelism (Workers != 1) and the host has spare cores they execute
+// concurrently; results are bit-identical either way. Callers measuring
+// several transforms of one case should use MeasureAll, which shares a
+// single base run.
+func Measure(b program.Builder, m *topology.Machine, cfg program.Config, ecfg engine.Config, t Transform) (Comparison, error) {
+	if ecfg.Workers == 1 || runtime.GOMAXPROCS(0) < 2 {
+		baseRes, err := MeasureBase(b, m, cfg, ecfg)
+		if err != nil {
+			return Comparison{}, err
+		}
+		return MeasureAgainst(baseRes, b, m, cfg, ecfg, t)
+	}
+	var baseRes, optRes *engine.Result
+	var baseErr, optErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		baseRes, baseErr = MeasureBase(b, m, cfg, ecfg)
+	}()
+	optRes, optErr = measureOpt(b, m, cfg, ecfg, t)
+	<-done
+	if baseErr != nil {
+		return Comparison{}, baseErr
+	}
+	if optErr != nil {
+		return Comparison{}, optErr
+	}
+	return Compare(baseRes, optRes), nil
 }
 
 // GroundTruthThreshold is the paper's criterion: a case is actually

@@ -1,6 +1,7 @@
 package optimize
 
 import (
+	"reflect"
 	"testing"
 
 	"drbw/internal/engine"
@@ -150,6 +151,91 @@ func TestActualRMCGroundTruth(t *testing.T) {
 	}
 	if good {
 		t.Error("colocated run misdetected as rmc by ground truth")
+	}
+}
+
+func TestMeasureAllSharesBaseline(t *testing.T) {
+	m := topology.XeonE5_4650()
+	cfg := program.Config{Threads: 32, Nodes: 4, Seed: 10}
+	b := micro.Sumv(micro.BigCentralized, 0)
+	ts := []Transform{WholeProgram(Interleave), Objects(Colocate, "vec_a")}
+
+	baseRes, all, err := MeasureAll(b, m, cfg, ecfg(), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRes == nil || baseRes.Cycles <= 0 {
+		t.Fatal("MeasureAll returned no base run")
+	}
+	if len(all) != len(ts) {
+		t.Fatalf("MeasureAll returned %d comparisons for %d transforms", len(all), len(ts))
+	}
+	// The shared-baseline path must reproduce per-transform Measure exactly.
+	serial := ecfg()
+	serial.Workers = 1
+	for i, tr := range ts {
+		want, err := Measure(b, m, cfg, serial, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(all[i], want) {
+			t.Errorf("transform %d: MeasureAll %+v != Measure %+v", i, all[i], want)
+		}
+		if all[i].BaseCycles != baseRes.Cycles {
+			t.Errorf("transform %d compared against cycles %.0f, base run has %.0f", i, all[i].BaseCycles, baseRes.Cycles)
+		}
+	}
+}
+
+func TestMeasureConcurrentMatchesSerial(t *testing.T) {
+	m := topology.XeonE5_4650()
+	cfg := program.Config{Threads: 32, Nodes: 4, Seed: 11}
+	b := micro.Dotv(micro.BigCentralized, 0)
+	serial := ecfg()
+	serial.Workers = 1
+	concurrent := ecfg() // Workers 0: base and optimized runs overlap
+	want, err := Measure(b, m, cfg, serial, WholeProgram(Colocate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Measure(b, m, cfg, concurrent, WholeProgram(Colocate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("concurrent Measure %+v != serial %+v", got, want)
+	}
+}
+
+// TestActualRMCKnownCases pins the ground-truth probe on one known-contended
+// and one known-clean micro workload, including the comparison it reports.
+func TestActualRMCKnownCases(t *testing.T) {
+	m := topology.XeonE5_4650()
+	rmc, comp, err := ActualRMC(micro.Dotv(micro.BigCentralized, 0), m,
+		program.Config{Threads: 32, Nodes: 4, Seed: 12}, ecfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rmc {
+		t.Error("centralized dotv T32-N4 should be ground-truth rmc")
+	}
+	if comp.Speedup() < GroundTruthThreshold {
+		t.Errorf("contended probe speedup %.2f below the %.2f threshold", comp.Speedup(), GroundTruthThreshold)
+	}
+	if comp.RemoteReduction <= 0 {
+		t.Errorf("interleave on a centralized run should cut remote accesses, got %.2f", comp.RemoteReduction)
+	}
+
+	clean, comp, err := ActualRMC(micro.Sumv(micro.SmallShared, 0), m,
+		program.Config{Threads: 16, Nodes: 4, Seed: 13}, ecfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean {
+		t.Error("cache-resident sumv misdetected as rmc by ground truth")
+	}
+	if s := comp.Speedup(); s >= GroundTruthThreshold {
+		t.Errorf("clean probe speedup %.2f crossed the threshold", s)
 	}
 }
 

@@ -1,0 +1,40 @@
+package search
+
+import (
+	"testing"
+
+	"drbw/internal/experiments"
+	"drbw/internal/micro"
+	"drbw/internal/program"
+)
+
+// TestFromDetection drives the full closed loop: train the classifier,
+// detect a contended case, then search for its fix from the detection's
+// retained state — no re-profiling between detect and search.
+func TestFromDetection(t *testing.T) {
+	ctx, err := experiments.NewContext(true, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := ctx.Detector.Detect(micro.Sumv(micro.BigCentralized, 0), ctx.Machine,
+		program.Config{Threads: 32, Nodes: 4, Seed: 79})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dn.Detected {
+		t.Fatal("classifier missed the centralized T32-N4 case")
+	}
+	res, err := FromDetection(dn, ecfgT(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("search found no placement")
+	}
+	if s := res.Speedup(); s < 1.10 {
+		t.Errorf("closed loop found only %.3fx (placement %q)", s, res.Best.Candidate)
+	}
+	if len(res.Report.Overall) == 0 {
+		t.Error("detection-driven search produced no diagnosis")
+	}
+}

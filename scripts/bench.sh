@@ -27,6 +27,12 @@
 #                     value (block-parallel analysis of one indexed
 #                     recording); skipped with a warning on hosts with
 #                     fewer than 4 cores
+#   MIN_OPTIMIZER_SPEEDUP when set, fail if the pruned placement search
+#                     (BenchmarkOptimizerSearch pruned: analytic frontier +
+#                     branch-and-bound cycle budget, parallel waves) is less
+#                     than this many times faster than the serial exhaustive
+#                     search; skipped with a warning on hosts with fewer
+#                     than 4 cores, where the parallel waves degenerate
 #
 # The benchmarks tracked here cover the simulation hot path end to end plus
 # the offline trace pipeline: a full contended engine run, the batch
@@ -40,7 +46,7 @@ cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_engine.json}
 benchtime=${BENCHTIME:-2s}
-pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace|BenchmarkShardAnalyze)$'
+pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace|BenchmarkShardAnalyze|BenchmarkOptimizerSearch)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -59,6 +65,7 @@ awk -v out="$out" -v cores="$cores" '
         if ($i == "B/op")       bytes = $(i-1)
         if ($i == "allocs/op")  allocs = $(i-1)
         if ($i == "csv-size-x") sizeratio = $(i-1)
+        if ($i == "placement-speedup-x") placement = $(i-1)
     }
     names[++n] = name
     nsv[name] = ns; bv[name] = bytes; av[name] = allocs
@@ -111,6 +118,27 @@ END {
     }
     if (as != "" && at != "" && at + 0 > 0) {
         printf "%s\"stream_vs_slice\": %.2f", sep, as / at >> out
+    }
+    printf "},\n" >> out
+    # optimizer: the closed-loop placement search. pruned_speedup is the
+    # serial-exhaustive/pruned wall-clock ratio (frontier + cycle budget +
+    # parallel waves); parallel_speedup isolates the wave parallelism
+    # (exhaustive serial vs exhaustive parallel); placement_speedup is the
+    # simulated gain of the placement the search chose. cores is recorded
+    # beside the ratios because both collapse toward the pruning-only
+    # fraction on few-core hosts.
+    os = nsv["BenchmarkOptimizerSearch/serial"]
+    op = nsv["BenchmarkOptimizerSearch/parallel"]
+    og = nsv["BenchmarkOptimizerSearch/pruned"]
+    printf "  \"optimizer\": {\"cores\": %d", cores >> out
+    if (os != "" && og != "" && og + 0 > 0) {
+        printf ", \"pruned_speedup\": %.2f", os / og >> out
+    }
+    if (os != "" && op != "" && op + 0 > 0) {
+        printf ", \"parallel_speedup\": %.2f", os / op >> out
+    }
+    if (placement != "") {
+        printf ", \"placement_speedup\": %s", placement >> out
     }
     printf "},\n" >> out
     printf "  \"benchmarks\": {\n" >> out
@@ -217,5 +245,26 @@ if [ -n "${MIN_SHARD_SPEEDUP:-}" ]; then
             exit 1
         fi
         echo "shard gate: shard speedup ${sspeed}x >= ${MIN_SHARD_SPEEDUP}x"
+    fi
+fi
+
+if [ -n "${MIN_OPTIMIZER_SPEEDUP:-}" ]; then
+    if [ "$cores" -lt 4 ]; then
+        echo "optimizer gate: skipped ($cores cores; needs >= 4 for a meaningful ratio)" >&2
+    else
+        ospeed=$(awk '
+        /^BenchmarkOptimizerSearch\/serial/ { for (i = 2; i <= NF; i++) if ($i == "ns/op") s = $(i-1) }
+        /^BenchmarkOptimizerSearch\/pruned/ { for (i = 2; i <= NF; i++) if ($i == "ns/op") p = $(i-1) }
+        END { if (s != "" && p != "" && p + 0 > 0) printf "%.2f", s / p }
+        ' "$raw")
+        if [ -z "$ospeed" ]; then
+            echo "optimizer gate: BenchmarkOptimizerSearch serial/pruned not found in output" >&2
+            exit 1
+        fi
+        if awk -v s="$ospeed" -v min="$MIN_OPTIMIZER_SPEEDUP" 'BEGIN { exit !(s < min) }'; then
+            echo "optimizer gate: pruned search ${ospeed}x faster than exhaustive serial, below minimum ${MIN_OPTIMIZER_SPEEDUP}x on $cores cores" >&2
+            exit 1
+        fi
+        echo "optimizer gate: pruned search ${ospeed}x >= ${MIN_OPTIMIZER_SPEEDUP}x faster than exhaustive serial"
     fi
 fi
