@@ -38,13 +38,21 @@
 // Without -model a classifier is trained first; with it, the saved model
 // from drbw-train -o is used and no simulation runs at all.
 //
-// Observability: -http serves /metrics (JSON registry snapshot),
-// /debug/vars (expvar) and /debug/pprof on the given address for the
+// Observability: -http serves /metrics (JSON registry snapshot, or
+// Prometheus text with ?format=prom), /debug/vars (expvar), /debug/pprof
+// and /debug/flight (recent-event dump) on the given address for the
 // lifetime of the run; -metrics appends the final snapshot to stdout;
-// -log sets the structured-log level (debug, info, warn, error).
+// -log sets the structured-log level (debug, info, warn, error);
+// -trace-out records the run's causal span tree and writes it as Chrome
+// trace-event JSON (or a deterministic nested tree with -trace-format
+// tree); -ledger writes a machine-readable run ledger (config hash, build
+// info, timings, metrics, per-recording verdicts). Trace and ledger are
+// written even when the analysis fails, so failed runs still leave an
+// audit trail; a failure also dumps the flight recorder to stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -71,12 +79,53 @@ func main() {
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address")
 	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
 	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
+	traceOut := flag.String("trace-out", "", "record a causal trace of the run and write it to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (trace-event JSON) or tree (nested spans)")
+	ledgerPath := flag.String("ledger", "", "write a machine-readable run ledger (JSON) to this file")
 	flag.Parse()
 
+	tfmt, err := obs.ParseTraceFormat(*traceFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 	core.SetPoolWorkers(*workers)
 	obs.SetProgressWriter(os.Stderr)
+	obs.SetFlightSink(os.Stderr)
+	obs.FlightDumpOnSignal()
 	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		obs.StartTracing()
+	}
+	ledCfg := map[string]string{}
+	flag.VisitAll(func(f *flag.Flag) { ledCfg[f.Name] = f.Value.String() })
+	led := obs.NewLedger("drbw-analyze", ledCfg)
+	runStart := time.Now()
+	// writeArtifacts flushes the trace and ledger; it runs on success and
+	// failure alike so an aborted analysis still leaves its audit trail.
+	writeArtifacts := func() {
+		if tr := obs.StopTracing(); tr != nil && *traceOut != "" {
+			if werr := obs.WriteTraceExport(tr, *traceOut, tfmt); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "trace (%d spans) -> %s\n", tr.SpanCount(), *traceOut)
+			}
+		}
+		if *ledgerPath != "" {
+			led.AddTiming("total", time.Since(runStart).Seconds())
+			led.AttachMetrics()
+			if werr := led.Write(*ledgerPath); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "ledger -> %s\n", *ledgerPath)
+			}
+		}
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		writeArtifacts()
+		os.Exit(1)
 	}
 	if *httpAddr != "" {
 		srv, err := obs.StartServer(*httpAddr)
@@ -121,26 +170,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no -model given; training classifier (quick=%v)...\n", *quick)
 		tool, err = drbw.Train(drbw.Config{Quick: *quick, Workers: *workers})
 		if err == nil {
+			led.AddTiming("train", time.Since(start).Seconds())
 			fmt.Fprintf(os.Stderr, "trained in %.1fs\n", time.Since(start).Seconds())
 		}
 	}
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 
+	analyzeStart := time.Now()
 	if *shards != "" {
 		rep, err := tool.AnalyzeTraceShardDir(*shards)
+		led.AddTiming("analyze", time.Since(analyzeStart).Seconds())
+		led.AddResult(drbw.ReportLedgerResult(*shards, rep, err))
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		fmt.Print(rep)
 		if *metrics {
 			printMetrics()
 		}
+		writeArtifacts()
 		return
 	}
 
 	var reports []*drbw.Report
+	ferrs := make([]error, len(sampleFiles))
 	if haveRange {
 		// The batch runner has no windowed form; ranged recordings are
 		// analyzed one at a time (each still fans out internally when the
@@ -149,6 +204,7 @@ func main() {
 		for i := range sampleFiles {
 			rep, rerr := tool.AnalyzeTraceFileRange(sampleFiles[i], objectFiles[i], lo, hi)
 			if rerr != nil {
+				ferrs[i] = rerr
 				fmt.Fprintf(os.Stderr, "%s: %v\n", sampleFiles[i], rerr)
 				if err == nil {
 					err = rerr
@@ -163,8 +219,18 @@ func main() {
 			paths[i] = drbw.TracePaths{Samples: sampleFiles[i], Objects: objectFiles[i]}
 		}
 		reports, err = tool.AnalyzeTraceFiles(paths)
+		var be *drbw.BatchError
+		if errors.As(err, &be) {
+			for _, c := range be.Cases {
+				if c.Index >= 0 && c.Index < len(ferrs) {
+					ferrs[c.Index] = c.Err
+				}
+			}
+		}
 	}
+	led.AddTiming("analyze", time.Since(analyzeStart).Seconds())
 	for i, rep := range reports {
+		led.AddResult(drbw.ReportLedgerResult(sampleFiles[i], rep, ferrs[i]))
 		if len(reports) > 1 {
 			fmt.Printf("== %s ==\n", sampleFiles[i])
 		}
@@ -180,6 +246,7 @@ func main() {
 	if *metrics {
 		printMetrics()
 	}
+	writeArtifacts()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

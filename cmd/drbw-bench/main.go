@@ -58,13 +58,46 @@ func mainImpl() int {
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address")
 	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
 	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
+	traceOut := flag.String("trace-out", "", "record a causal trace of the run and write it to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (trace-event JSON) or tree (nested spans)")
+	ledgerPath := flag.String("ledger", "", "write a machine-readable run ledger (JSON) to this file")
 	flag.Parse()
 
+	tfmt, err := obs.ParseTraceFormat(*traceFormat)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
 	obs.SetProgressWriter(os.Stderr)
+	obs.SetFlightSink(os.Stderr)
+	obs.FlightDumpOnSignal()
 	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
 		log.Print(err)
 		return 2
 	}
+	if *traceOut != "" {
+		obs.StartTracing()
+	}
+	runStart := time.Now()
+	led := obs.NewLedger("drbw-bench", flagConfig())
+	defer func() {
+		if tr := obs.StopTracing(); tr != nil && *traceOut != "" {
+			if werr := obs.WriteTraceExport(tr, *traceOut, tfmt); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "trace (%d spans) -> %s\n", tr.SpanCount(), *traceOut)
+			}
+		}
+		if *ledgerPath != "" {
+			led.AddTiming("total", time.Since(runStart).Seconds())
+			led.AttachMetrics()
+			if werr := led.Write(*ledgerPath); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "ledger -> %s\n", *ledgerPath)
+			}
+		}
+	}()
 	if *httpAddr != "" {
 		srv, err := obs.StartServer(*httpAddr)
 		if err != nil {
@@ -119,7 +152,12 @@ func mainImpl() int {
 	// The work runs through run() so the profiling defers above flush even
 	// on failure (log.Fatal would bypass them).
 	core.SetPoolWorkers(*workers)
-	err := run(*quick, *exp, *seed, *workers)
+	err = run(*quick, *exp, *seed, *workers)
+	lr := obs.LedgerResult{Name: *exp, Kind: "bench"}
+	if err != nil {
+		lr.Error = err.Error()
+	}
+	led.AddResult(lr)
 	if *metrics {
 		if b, merr := obs.SnapshotJSON(); merr == nil {
 			fmt.Printf("== metrics ==\n%s\n", b)
@@ -128,10 +166,18 @@ func mainImpl() int {
 		}
 	}
 	if err != nil {
+		obs.FlightFailure("bench.run", err)
 		log.Print(err)
 		return 1
 	}
 	return 0
+}
+
+// flagConfig captures the effective flag set for the run ledger.
+func flagConfig() map[string]string {
+	cfg := map[string]string{}
+	flag.VisitAll(func(f *flag.Flag) { cfg[f.Name] = f.Value.String() })
+	return cfg
 }
 
 func run(quick bool, exp string, seed uint64, workers int) error {

@@ -55,16 +55,50 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for candidate simulation and training (0 = GOMAXPROCS, 1 = serial); never changes the chosen placement")
 	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
 	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
+	traceOut := flag.String("trace-out", "", "record a causal trace of the run and write it to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace export format: chrome (trace-event JSON) or tree (nested spans)")
+	ledgerPath := flag.String("ledger", "", "write a machine-readable run ledger (JSON) to this file")
 	flag.Parse()
 
+	tfmt, ferr := obs.ParseTraceFormat(*traceFormat)
+	if ferr != nil {
+		log.Fatal(ferr)
+	}
 	core.SetPoolWorkers(*workers)
 	obs.SetProgressWriter(os.Stderr)
+	obs.SetFlightSink(os.Stderr)
+	obs.FlightDumpOnSignal()
 	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
 		log.Fatal(err)
 	}
 	if *bench == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *traceOut != "" {
+		obs.StartTracing()
+	}
+	ledCfg := map[string]string{}
+	flag.VisitAll(func(f *flag.Flag) { ledCfg[f.Name] = f.Value.String() })
+	led := obs.NewLedger("drbw-optimize", ledCfg)
+	runStart := time.Now()
+	writeArtifacts := func() {
+		if tr := obs.StopTracing(); tr != nil && *traceOut != "" {
+			if werr := obs.WriteTraceExport(tr, *traceOut, tfmt); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "trace (%d spans) -> %s\n", tr.SpanCount(), *traceOut)
+			}
+		}
+		if *ledgerPath != "" {
+			led.AddTiming("total", time.Since(runStart).Seconds())
+			led.AttachMetrics()
+			if werr := led.Write(*ledgerPath); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "ledger -> %s\n", *ledgerPath)
+			}
+		}
 	}
 
 	var tool *drbw.Tool
@@ -101,10 +135,17 @@ func main() {
 		start := time.Now()
 		opt, err := tool.AutoOptimize(name, c, opts)
 		if err != nil {
+			obs.FlightFailure("optimize."+name, err)
+			led.AddResult(obs.LedgerResult{Name: name, Kind: "optimization", Error: err.Error()})
 			fmt.Fprintf(os.Stderr, "drbw-optimize: %s: %v\n", name, err)
 			failed++
 			continue
 		}
+		lr := drbw.ReportLedgerResult(name, opt.Report, nil)
+		lr.Kind = "optimization"
+		lr.Placement = opt.Placement
+		lr.Speedup = opt.Speedup
+		led.AddResult(lr)
 		printOptimization(name, opt, time.Since(start))
 	}
 	if *metrics {
@@ -114,6 +155,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 		}
 	}
+	writeArtifacts()
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -8,11 +8,17 @@
 //	             [-nodes 4] [-fix replicate|colocate|interleave]
 //	             [-objects block,point.p] [-quick] [-truth]
 //	             [-record run [-format csv|binary]]
+//	             [-metrics] [-log level]
 //	drbw-profile -list
 //
 // -record writes the raw profile for offline analysis; -format picks the
 // samples encoding (csv is greppable text, binary is the compact columnar
 // format — drbw-analyze reads both).
+//
+// Observability: -metrics appends the final registry snapshot to stdout,
+// -log sets the structured-log level (debug, info, warn, error), and
+// training/analysis progress reports on stderr. SIGQUIT dumps the flight
+// recorder and all goroutine stacks.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"drbw"
+	"drbw/internal/obs"
 )
 
 func main() {
@@ -39,7 +46,16 @@ func main() {
 	model := flag.String("model", "", "load a saved classifier instead of training")
 	record := flag.String("record", "", "record the profile to <prefix>.samples.{csv,bin} and <prefix>.objects.csv")
 	format := flag.String("format", "csv", "recording format for -record: csv (text, greppable) or binary (columnar, compact)")
+	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
+	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
 	flag.Parse()
+
+	obs.SetProgressWriter(os.Stderr)
+	obs.SetFlightSink(os.Stderr)
+	obs.FlightDumpOnSignal()
+	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 
 	if *list {
 		for _, name := range drbw.Benchmarks() {
@@ -108,6 +124,7 @@ func main() {
 	fmt.Print(rep)
 
 	if *fix == "" {
+		printMetrics(*metrics)
 		return
 	}
 	var strategy drbw.Strategy
@@ -145,4 +162,18 @@ func main() {
 	}
 	fmt.Printf("\nremote accesses %+.1f%%, avg DRAM latency %+.1f%%\n",
 		-100*cmp.RemoteReduction, -100*cmp.LatencyReduction)
+	printMetrics(*metrics)
+}
+
+// printMetrics appends the registry snapshot to the tool output when on.
+func printMetrics(on bool) {
+	if !on {
+		return
+	}
+	b, err := obs.SnapshotJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("== metrics ==\n%s\n", b)
 }

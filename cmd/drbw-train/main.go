@@ -8,7 +8,8 @@
 //	drbw-train [-quick] [-seed n] [-o model.json] [-metrics] [-log level]
 //
 // Training-collection progress (N/M runs, elapsed, ETA) reports on stderr;
-// -metrics appends a JSON metrics snapshot to the output.
+// -metrics appends a JSON metrics snapshot to the output. SIGQUIT dumps
+// the flight recorder and all goroutine stacks.
 package main
 
 import (
@@ -32,6 +33,8 @@ func main() {
 	flag.Parse()
 
 	obs.SetProgressWriter(os.Stderr)
+	obs.SetFlightSink(os.Stderr)
+	obs.FlightDumpOnSignal()
 	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
 		log.Fatal(err)
 	}

@@ -7,7 +7,12 @@
 //	drbw-workload -spec workload.json [-threads 32] [-nodes 4]
 //	              [-machine machine.json] [-model model.json]
 //	              [-fix interleave|colocate|replicate] [-cache]
-//	              [-truth] [-quick]
+//	              [-truth] [-quick] [-metrics] [-log level]
+//
+// Observability: -metrics appends the final registry snapshot to stdout,
+// -log sets the structured-log level (debug, info, warn, error), and
+// training/analysis progress reports on stderr. SIGQUIT dumps the flight
+// recorder and all goroutine stacks.
 //
 // Spec file example:
 //
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"drbw"
+	"drbw/internal/obs"
 )
 
 func main() {
@@ -43,8 +49,16 @@ func main() {
 	truth := flag.Bool("truth", false, "run the interleave ground-truth probe")
 	cacheToo := flag.Bool("cache", false, "also run the shared-cache contention detector")
 	quick := flag.Bool("quick", false, "quick training")
+	metrics := flag.Bool("metrics", false, "append a JSON metrics snapshot to the output")
+	logLevel := flag.String("log", "warn", "log level: debug, info, warn, error")
 	flag.Parse()
 
+	obs.SetProgressWriter(os.Stderr)
+	obs.SetFlightSink(os.Stderr)
+	obs.FlightDumpOnSignal()
+	if err := obs.ConfigureLogging(os.Stderr, *logLevel); err != nil {
+		log.Fatal(err)
+	}
 	if *spec == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -126,5 +140,13 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Print(crep)
+	}
+
+	if *metrics {
+		if b, err := obs.SnapshotJSON(); err == nil {
+			fmt.Printf("== metrics ==\n%s\n", b)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
 	}
 }

@@ -335,6 +335,7 @@ func reportFromDetection(dn *core.Detection) *Report {
 		rep = dn.Diagnose()
 	}
 	out := newReport(dn.CaseResult, rep)
+	out.Samples = int64(len(dn.Samples))
 	out.attachTimeline(diagnose.Timeline(dn.Samples, timelineBuckets, dn.Weight))
 	return out
 }

@@ -69,8 +69,26 @@ func ParallelForLabeled(n int, label string, fn func(i int)) {
 
 // ParallelForLabeledWorker is ParallelForLabeled over ParallelForWorker:
 // the same span, gauges and histogram, with the worker index passed through
-// so consumers can reuse per-worker scratch.
+// so consumers can reuse per-worker scratch. When a tracer is installed the
+// dispatch appears as a "pool.<label>" trace span with one "case" child per
+// item, carrying index and worker-id attributes.
 func ParallelForLabeledWorker(n int, label string, fn func(i, worker int)) {
+	if n <= 0 {
+		return
+	}
+	sp := obs.BeginSpan("pool." + label)
+	ParallelForLabeledSpans(n, label, sp, func(i, w int, _ obs.SpanHandle) { fn(i, w) })
+	sp.End()
+}
+
+// ParallelForLabeledSpans is ParallelForLabeledWorker with the causal
+// tracing exposed: each item's trace span — a child of parent, annotated
+// with the item index and worker id — is passed to fn so consumers can
+// attach their own attributes (block ranges, shard paths, candidate keys).
+// The parent handle is not ended here; the caller owns it. With no tracer
+// installed every handle is a no-op and the dispatch allocates nothing for
+// tracing.
+func ParallelForLabeledSpans(n int, label string, parent obs.SpanHandle, fn func(i, worker int, sp obs.SpanHandle)) {
 	if n <= 0 {
 		return
 	}
@@ -80,9 +98,13 @@ func ParallelForLabeledWorker(n int, label string, fn func(i, worker int)) {
 	ParallelForWorker(n, func(i, w int) {
 		mPoolQueue.Add(-1)
 		mPoolInflight.Add(1)
+		cs := parent.Child("case")
+		cs.SetInt("index", int64(i))
+		cs.SetInt("worker", int64(w))
 		start := time.Now()
-		fn(i, w)
+		fn(i, w, cs)
 		hist.Observe(time.Since(start).Seconds())
+		cs.End()
 		mPoolInflight.Add(-1)
 		prog.Done()
 	})

@@ -39,6 +39,7 @@ import (
 
 	"drbw/internal/cache"
 	"drbw/internal/memsim"
+	"drbw/internal/obs"
 	"drbw/internal/pebs"
 	"drbw/internal/topology"
 	"drbw/internal/trace"
@@ -401,9 +402,19 @@ func (e *Engine) Run(phases []trace.Phase, bind Binding) (*Result, error) {
 	res := &Result{}
 	now := 0.0
 	var st runStats
+	// Causal tracing at phase granularity only: the span handles are no-ops
+	// unless an exporter is installed, so the window and integration loops
+	// stay untouched and the allocation gate holds. The reference oracle
+	// stays silent, mirroring the metrics policy.
+	var sp obs.SpanHandle
+	if !e.cfg.Reference {
+		sp = obs.BeginSpan("engine.run")
+		sp.SetInt("phases", int64(len(phases)))
+	}
 	rng := rand.New(rand.NewSource(int64(e.cfg.Seed) ^ 0x51ed2701))
 	for pi, ph := range phases {
 		if len(ph.Threads) != len(bind) {
+			sp.End()
 			return nil, fmt.Errorf("engine: phase %q has %d threads, binding has %d", ph.Name, len(ph.Threads), len(bind))
 		}
 		if e.cfg.CycleBudget > 0 && now >= e.cfg.CycleBudget {
@@ -412,10 +423,16 @@ func (e *Engine) Run(phases []trace.Phase, bind Binding) (*Result, error) {
 			res.Aborted = true
 			break
 		}
+		ps := sp.Child("engine.phase")
+		ps.SetInt("phase", int64(pi))
 		pr, err := e.runPhase(ph, bind, now, rng, uint64(pi), &st)
 		if err != nil {
+			ps.End()
+			sp.End()
 			return nil, fmt.Errorf("engine: phase %q: %w", ph.Name, err)
 		}
+		ps.SetFloat("cycles", pr.Cycles)
+		ps.End()
 		now += pr.Cycles
 		res.Phases = append(res.Phases, *pr)
 		if pr.Aborted {
@@ -425,6 +442,8 @@ func (e *Engine) Run(phases []trace.Phase, bind Binding) (*Result, error) {
 	}
 	res.Cycles = now
 	if !e.cfg.Reference {
+		sp.SetFloat("cycles", now)
+		sp.End()
 		st.merge()
 	}
 	return res, nil

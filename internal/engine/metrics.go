@@ -51,6 +51,7 @@ type runStats struct {
 
 // merge publishes the run's tallies.
 func (st *runStats) merge() {
+	obs.RecordEvent(obs.EventMetric, "engine.run", int64(st.accesses), int64(st.samples))
 	mRuns.Inc()
 	if st.phases > 0 {
 		mPhases.Add(int64(st.phases))

@@ -1,0 +1,23 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteTraceExport writes a stopped tracer's spans to path in the given
+// format. CLIs call it from their artifact-flush path after StopTracing.
+func WriteTraceExport(tr *Tracer, path string, format TraceExportFormat) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	if err := tr.Export(f, format); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	return nil
+}

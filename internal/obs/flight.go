@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Flight recorder: a bounded, lock-striped ring of the most recent
+// span/metric/error events, always armed. Recording an event is a
+// sequence-counter fetch-add plus one short critical section writing a
+// fixed-size struct — no allocation, no formatting — so the recorder stays
+// on in the hot paths the allocation gate covers. The ring only turns into
+// text when something goes wrong: an analysis error return, SIGQUIT, or a
+// request to the debug server's /debug/flight endpoint, each of which dumps
+// the recent history in global event order.
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint8
+
+// Flight event kinds.
+const (
+	// EventSpan is a completed trace span: A holds the duration in
+	// nanoseconds, B the span id.
+	EventSpan EventKind = iota
+	// EventMetric is a metric milestone (engine run merged, progress
+	// finished): A and B are kind-specific integers.
+	EventMetric
+	// EventError is a failure on an error-return path.
+	EventError
+	// EventMark is a free-form annotation (CLI start, phase switches).
+	EventMark
+)
+
+// String names the kind for dumps.
+func (k EventKind) String() string {
+	switch k {
+	case EventSpan:
+		return "span"
+	case EventMetric:
+		return "metric"
+	case EventError:
+		return "error"
+	case EventMark:
+		return "mark"
+	default:
+		return "event"
+	}
+}
+
+// flightStripes and flightPerStripe bound the recorder: at most
+// flightStripes × flightPerStripe recent events are retained, overwriting
+// the oldest per stripe. Both are powers of two.
+const (
+	flightStripes   = 8
+	flightPerStripe = 256
+)
+
+// FlightEvent is one recorded event, exported by FlightEvents in global
+// sequence order.
+type FlightEvent struct {
+	Seq  uint64
+	Time time.Time
+	Kind EventKind
+	Name string
+	// A and B are kind-specific payloads (see EventKind docs). Detail, when
+	// non-empty, carries preformatted context (error text); hot-path events
+	// leave it empty so recording never formats.
+	A, B   int64
+	Detail string
+}
+
+// flightStripe is one ring segment with its own lock, padded so stripes do
+// not share cache lines.
+type flightStripe struct {
+	mu  sync.Mutex
+	buf [flightPerStripe]FlightEvent
+	n   uint64 // events ever written to this stripe
+	_   [40]byte
+}
+
+// flightRing is the process-wide recorder. seq orders events globally and
+// picks the stripe, spreading concurrent writers round-robin.
+type flightRing struct {
+	seq     atomic.Uint64
+	stripes [flightStripes]flightStripe
+}
+
+var flight flightRing
+
+// RecordEvent appends one event to the flight recorder. Safe for
+// concurrent use from any goroutine; never allocates.
+func RecordEvent(kind EventKind, name string, a, b int64) {
+	recordEvent(kind, name, a, b, "")
+}
+
+func recordEvent(kind EventKind, name string, a, b int64, detail string) {
+	seq := flight.seq.Add(1)
+	s := &flight.stripes[seq&(flightStripes-1)]
+	s.mu.Lock()
+	s.buf[s.n&(flightPerStripe-1)] = FlightEvent{
+		Seq: seq, Time: time.Now(), Kind: kind, Name: name,
+		A: a, B: b, Detail: detail,
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// FlightEvents snapshots the retained events in global sequence order.
+func FlightEvents() []FlightEvent {
+	var out []FlightEvent
+	for i := range flight.stripes {
+		s := &flight.stripes[i]
+		s.mu.Lock()
+		kept := s.n
+		if kept > flightPerStripe {
+			kept = flightPerStripe
+		}
+		for j := uint64(0); j < kept; j++ {
+			out = append(out, s.buf[j])
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// DumpFlight writes the retained events to w, oldest first: one line per
+// event with wall time, kind, name and payloads.
+func DumpFlight(w io.Writer) {
+	events := FlightEvents()
+	fmt.Fprintf(w, "== flight recorder: %d retained events ==\n", len(events))
+	for _, e := range events {
+		fmt.Fprintf(w, "%s %-6s %s", e.Time.Format("15:04:05.000000"), e.Kind, e.Name)
+		switch e.Kind {
+		case EventSpan:
+			fmt.Fprintf(w, " dur=%s span=%d", time.Duration(e.A), e.B)
+		default:
+			if e.A != 0 || e.B != 0 {
+				fmt.Fprintf(w, " a=%d b=%d", e.A, e.B)
+			}
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(w, " %s", e.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// flightSink is where automatic dumps (error returns) go. Nil — the
+// default — disables them so library consumers and tests stay quiet.
+var flightSink atomic.Pointer[io.Writer]
+
+// SetFlightSink directs automatic flight dumps to w (CLIs pass stderr or
+// an opened file); nil disables them.
+func SetFlightSink(w io.Writer) {
+	if w == nil {
+		flightSink.Store(nil)
+		return
+	}
+	flightSink.Store(&w)
+}
+
+// FlightFailure records an error event and, when a sink is configured,
+// dumps the recorder to it. Instrumented error-return paths call this with
+// the operation name; the returned error is err unchanged, so call sites
+// stay one-line.
+func FlightFailure(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	recordEvent(EventError, op, 0, 0, err.Error())
+	if w := flightSink.Load(); w != nil {
+		fmt.Fprintf(*w, "drbw: %s failed: %v\n", op, err)
+		DumpFlight(*w)
+	}
+	return err
+}
+
+// flightSignalOnce guards the SIGQUIT handler installation.
+var flightSignalOnce sync.Once
+
+// FlightDumpOnSignal installs a SIGQUIT handler that dumps the flight
+// recorder and all goroutine stacks to stderr, then exits with status 2 —
+// the moral equivalent of the JVM's thread dump, with causal history
+// attached. CLIs call this once at startup; libraries never do (it takes
+// over the process's SIGQUIT disposition).
+func FlightDumpOnSignal() {
+	flightSignalOnce.Do(func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGQUIT)
+		go func() {
+			<-ch
+			DumpFlight(os.Stderr)
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			os.Stderr.Write(buf[:n])
+			os.Exit(2)
+		}()
+	})
+}

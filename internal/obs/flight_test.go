@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightRingBounded overfills the recorder and checks that retention
+// stays within the stripe capacity and events come back in sequence order.
+func TestFlightRingBounded(t *testing.T) {
+	const total = flightStripes*flightPerStripe + 500
+	for i := 0; i < total; i++ {
+		RecordEvent(EventMark, "fill", int64(i), 0)
+	}
+	events := FlightEvents()
+	if len(events) == 0 || len(events) > flightStripes*flightPerStripe {
+		t.Fatalf("%d retained events, want (0, %d]", len(events), flightStripes*flightPerStripe)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+	// The newest event must have survived the overwrites.
+	last := events[len(events)-1]
+	if last.Name != "fill" || last.A != total-1 {
+		t.Fatalf("newest retained event = %+v, want fill a=%d", last, total-1)
+	}
+}
+
+// TestFlightRecordConcurrent hammers the ring from many goroutines under
+// -race; every snapshot taken mid-stream must stay ordered.
+func TestFlightRecordConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				RecordEvent(EventMetric, "conc", int64(i), 0)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			evs := FlightEvents()
+			for j := 1; j < len(evs); j++ {
+				if evs[j].Seq <= evs[j-1].Seq {
+					t.Errorf("snapshot out of order")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+}
+
+// TestFlightFailure: a nil error is a no-op, a real error is recorded with
+// its text and dumped to the configured sink.
+func TestFlightFailure(t *testing.T) {
+	if err := FlightFailure("op", nil); err != nil {
+		t.Fatalf("nil error returned %v", err)
+	}
+
+	var buf bytes.Buffer
+	SetFlightSink(&buf)
+	t.Cleanup(func() { SetFlightSink(nil) })
+
+	in := errors.New("recording has no samples")
+	if err := FlightFailure("analyze.trace_file", in); err != in {
+		t.Fatalf("error not returned unchanged: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "analyze.trace_file failed: recording has no samples") {
+		t.Fatalf("dump missing failure line:\n%s", out)
+	}
+	if !strings.Contains(out, "flight recorder:") {
+		t.Fatalf("dump missing recorder header:\n%s", out)
+	}
+	if !strings.Contains(out, "error") || !strings.Contains(out, "recording has no samples") {
+		t.Fatalf("dump missing the error event:\n%s", out)
+	}
+
+	// With the sink cleared, failures record but stay silent.
+	SetFlightSink(nil)
+	buf.Reset()
+	FlightFailure("quiet.op", errors.New("x"))
+	if buf.Len() != 0 {
+		t.Fatalf("sink disabled but dump wrote %q", buf.String())
+	}
+}
+
+// TestDumpFlightFormat spot-checks the dump's per-kind rendering.
+func TestDumpFlightFormat(t *testing.T) {
+	RecordEvent(EventSpan, "engine.phase", 1500, 7)
+	var buf bytes.Buffer
+	DumpFlight(&buf)
+	if !strings.Contains(buf.String(), "engine.phase dur=1.5µs span=7") {
+		t.Fatalf("span event not rendered:\n%s", lastLines(buf.String(), 5))
+	}
+}
+
+func lastLines(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return fmt.Sprint(strings.Join(lines, "\n"))
+}

@@ -25,13 +25,20 @@ func PublishExpvar() {
 // Handler returns the debug mux served by StartServer:
 //
 //	/metrics          JSON snapshot of the default registry
+//	/metrics?format=prom  Prometheus text exposition of the same registry
 //	/healthz          liveness probe
+//	/debug/flight     flight-recorder dump (recent span/metric/error events)
 //	/debug/vars       expvar (includes the "drbw" snapshot)
 //	/debug/pprof/...  the standard pprof handlers (profile, heap, trace, ...)
 func Handler() http.Handler {
 	PublishExpvar()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write(PromText())
+			return
+		}
 		b, err := SnapshotJSON()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -40,6 +47,10 @@ func Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(b)
 		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		DumpFlight(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))

@@ -61,4 +61,23 @@ func TestDebugServer(t *testing.T) {
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Fatalf("pprof index looks wrong: %.120q", body)
 	}
+
+	// Prometheus exposition of the same registry: counter with _total
+	// suffix, every line passing the exposition lint.
+	prom := get("/metrics?format=prom")
+	if !strings.Contains(prom, "drbw_test_http_counter_total") {
+		t.Fatalf("prom exposition missing counter:\n%.300s", prom)
+	}
+	for _, line := range strings.Split(strings.TrimRight(prom, "\n"), "\n") {
+		if !promLineRE.MatchString(line) {
+			t.Fatalf("prom line fails lint: %q", line)
+		}
+	}
+
+	// Flight recorder dump over HTTP.
+	RecordEvent(EventMark, "http.test.mark", 11, 22)
+	flight := get("/debug/flight")
+	if !strings.Contains(flight, "flight recorder:") || !strings.Contains(flight, "http.test.mark") {
+		t.Fatalf("flight dump missing recent event:\n%.300s", flight)
+	}
 }

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func boolPtr(b bool) *bool { return &b }
+
+func sampleLedger() *Ledger {
+	led := NewLedger("drbw-analyze", map[string]string{
+		"samples": "run.samples.bin",
+		"model":   "model.json",
+		"workers": "0",
+	})
+	led.AddResult(LedgerResult{
+		Name:     "run.samples.bin",
+		Kind:     "analysis",
+		Detected: boolPtr(true),
+		Channels: []string{"N1->N0", "N2->N0"},
+		Samples:  4096,
+		Objects:  []LedgerObject{{Name: "block", CF: 0.71}, {Name: "points", CF: 0.22}},
+	})
+	return led
+}
+
+// TestLedgerRoundTrip: the written JSON parses back into a Ledger with the
+// schema tag, config hash and results intact — the schema contract CI's
+// smoke job relies on.
+func TestLedgerRoundTrip(t *testing.T) {
+	led := sampleLedger()
+	led.AddTiming("analyze", 1.25)
+	led.AttachMetrics()
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	if err := led.Write(path); err != nil {
+		t.Fatal(err)
+	}
+
+	var back Ledger
+	b := mustRead(t, path)
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("ledger does not parse: %v", err)
+	}
+	if back.Schema != LedgerSchema {
+		t.Fatalf("schema = %q, want %q", back.Schema, LedgerSchema)
+	}
+	if back.ConfigHash != led.ConfigHash || back.ConfigHash == "" {
+		t.Fatalf("config hash lost: %q vs %q", back.ConfigHash, led.ConfigHash)
+	}
+	if len(back.Results) != 1 || back.Results[0].Samples != 4096 {
+		t.Fatalf("results did not round-trip: %+v", back.Results)
+	}
+	if back.Results[0].Detected == nil || !*back.Results[0].Detected {
+		t.Fatal("verdict did not round-trip")
+	}
+	if back.Build.GoVersion == "" {
+		t.Fatal("build info missing")
+	}
+	if back.TimingsSeconds["analyze"] != 1.25 {
+		t.Fatalf("timings did not round-trip: %v", back.TimingsSeconds)
+	}
+	// The fingerprint is recomputable from the deterministic section.
+	det, err := back.DeterministicBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(det)
+	if got := hex.EncodeToString(sum[:]); got != back.Fingerprint {
+		t.Fatalf("fingerprint mismatch: file says %s, recomputed %s", back.Fingerprint, got)
+	}
+}
+
+// TestLedgerDeterministicBytes: same inputs ⇒ identical bytes, even when
+// the volatile sections (timings, metrics, build) differ.
+func TestLedgerDeterministicBytes(t *testing.T) {
+	a, b := sampleLedger(), sampleLedger()
+	a.AddTiming("total", 10.0)
+	b.AddTiming("total", 99.9)
+	b.AttachMetrics()
+
+	ab, err := a.DeterministicBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.DeterministicBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("deterministic sections differ:\n%s\n%s", ab, bb)
+	}
+
+	// A different verdict must change the bytes (and hence the fingerprint).
+	c := sampleLedger()
+	c.Results[0].Samples++
+	cb, err := c.DeterministicBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab, cb) {
+		t.Fatal("different results produced identical deterministic bytes")
+	}
+}
+
+// TestHashConfig: order-independent, content-sensitive.
+func TestHashConfig(t *testing.T) {
+	one := HashConfig(map[string]string{"a": "1", "b": "2"})
+	two := HashConfig(map[string]string{"b": "2", "a": "1"})
+	if one != two {
+		t.Fatal("hash depends on map order")
+	}
+	if one == HashConfig(map[string]string{"a": "1", "b": "3"}) {
+		t.Fatal("hash ignores values")
+	}
+	if len(one) != 64 {
+		t.Fatalf("hash %q is not hex sha256", one)
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

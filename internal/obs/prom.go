@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format 0.0.4) over the metrics registry, so
+// standard scrapers work against the debug server without parsing the JSON
+// snapshot. Rendering is deterministic: families emit in sorted name
+// order, histogram buckets in ascending le order, and every number through
+// strconv's shortest-round-trip formatting.
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "drbw_"
+
+// promName sanitizes a registry metric name into a legal Prometheus metric
+// name: the drbw_ prefix plus the name with every run of characters
+// outside [a-zA-Z0-9_:] collapsed to one underscore.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	lastUnderscore := false
+	for _, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		if r == '_' && lastUnderscore {
+			continue
+		}
+		lastUnderscore = r == '_'
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// promFloat renders a value in exposition syntax.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePromText renders a snapshot in the exposition format.
+func WritePromText(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Registry buckets are per-bucket counts; exposition buckets are
+		// cumulative and must end at le="+Inf" equal to the total count.
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.N
+			if math.IsInf(b.LE, 1) {
+				continue // folded into the +Inf bucket below
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b.LE), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromText renders the default registry in the exposition format — the
+// payload of /metrics?format=prom.
+func PromText() []byte {
+	var b strings.Builder
+	WritePromText(&b, Default.Snapshot()) // strings.Builder never errors
+	return []byte(b.String())
+}

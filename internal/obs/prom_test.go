@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"engine.runs":                 "drbw_engine_runs",
+		"pool.analyze-x.case_seconds": "drbw_pool_analyze_x_case_seconds",
+		"engine.channel.util.N1->N0":  "drbw_engine_channel_util_N1_N0",
+		"weird..name__with--runs":     "drbw_weird_name_with_runs",
+		"colons:are:legal":            "drbw_colons:are:legal",
+	} {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// promLineRE is the exposition lint: every line is a comment or a
+// `name{labels} value` sample. The same regex (modulo shell quoting) runs
+// in CI against the live /metrics?format=prom endpoint.
+var promLineRE = regexp.MustCompile(`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN))$`)
+
+// TestPromExposition renders a mixed registry and checks counter suffixes,
+// cumulative histogram buckets and that every line passes the lint.
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.runs").Add(3)
+	r.Gauge("pool.inflight").Set(2.5)
+	h := r.Histogram("span.analyze.seconds")
+	h.Observe(0.5e-6) // bucket 0
+	h.Observe(0.5e-6)
+	h.Observe(3e-6) // bucket 2 (le 4e-6)
+	var b strings.Builder
+	if err := WritePromText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE drbw_engine_runs_total counter",
+		"drbw_engine_runs_total 3",
+		"# TYPE drbw_pool_inflight gauge",
+		"drbw_pool_inflight 2.5",
+		"# TYPE drbw_span_analyze_seconds histogram",
+		`drbw_span_analyze_seconds_bucket{le="1e-06"} 2`,
+		`drbw_span_analyze_seconds_bucket{le="4e-06"} 3`,
+		`drbw_span_analyze_seconds_bucket{le="+Inf"} 3`,
+		"drbw_span_analyze_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !promLineRE.MatchString(line) {
+			t.Fatalf("line fails exposition lint: %q", line)
+		}
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		2.5:          "2.5",
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0:            "0",
+		1e-6:         "1e-06",
+	} {
+		if got := promFloat(v); got != want {
+			t.Fatalf("promFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Fatalf("promFloat(NaN) = %q", got)
+	}
+}

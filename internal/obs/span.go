@@ -38,6 +38,7 @@ func (s *Span) End() time.Duration {
 	d := time.Since(s.start)
 	s.reg.Histogram("span." + s.name + ".seconds").Observe(d.Seconds())
 	s.reg.Counter("span." + s.name + ".count").Inc()
+	RecordEvent(EventMetric, "span."+s.name, d.Nanoseconds(), 0)
 	Logger().Debug("span end", "span", s.name, "seconds", d.Seconds())
 	return d
 }
@@ -107,9 +108,15 @@ func (p *Progress) Finish() time.Duration {
 	return p.span.End()
 }
 
-// emit writes one progress line: name, N/M, percent, elapsed, ETA.
+// emit writes one progress line: name, N/M, percent, elapsed, ETA. A
+// non-positive total (an open-ended or degenerate batch) drops the percent
+// and ETA — both divide by total — instead of printing Inf/NaN.
 func (p *Progress) emit(w io.Writer, n int64) {
 	elapsed := p.span.Elapsed()
+	if p.total <= 0 {
+		fmt.Fprintf(w, "%s: %d done, elapsed %s\n", p.span.Name(), n, roundDur(elapsed))
+		return
+	}
 	line := fmt.Sprintf("%s: %d/%d (%.0f%%) elapsed %s",
 		p.span.Name(), n, p.total, 100*float64(n)/float64(p.total), roundDur(elapsed))
 	if n > 0 && n < p.total {

@@ -39,6 +39,7 @@ import (
 	"drbw/internal/core"
 	"drbw/internal/diagnose"
 	"drbw/internal/engine"
+	"drbw/internal/obs"
 	"drbw/internal/optimize"
 	"drbw/internal/pebs"
 	"drbw/internal/program"
@@ -273,6 +274,11 @@ func Run(in Input, ecfg engine.Config, cfg Config) (*Result, error) {
 		frontier = cfg.Frontier
 	}
 
+	sp := obs.BeginSpan("search.run")
+	sp.SetInt("candidates", int64(len(outs)))
+	sp.SetInt("frontier", int64(frontier))
+	defer sp.End()
+
 	// The shared baseline: measured exactly once, never per candidate.
 	base, err := optimize.MeasureBase(in.Builder, m, in.Cfg, ecfg)
 	if err != nil {
@@ -284,6 +290,9 @@ func Run(in Input, ecfg engine.Config, cfg Config) (*Result, error) {
 	// is min(baseline, best completed cycles in waves < i) — a function of
 	// the deterministic candidate order only, never of which worker ran
 	// what, so any Workers setting sees identical budgets and outcomes.
+	// When a tracer is installed, each wave is a "search.wave" child span
+	// (wave number, cycle budget) and each candidate run a "search.candidate"
+	// grandchild carrying its canonical key and worker id.
 	incumbent := base.Cycles
 	for lo := 0; lo < frontier; lo += cfg.WaveSize {
 		hi := lo + cfg.WaveSize
@@ -294,13 +303,23 @@ func Run(in Input, ecfg engine.Config, cfg Config) (*Result, error) {
 		if !cfg.DisableBudget {
 			run.CycleBudget = incumbent
 		}
+		ws := sp.Child("search.wave")
+		ws.SetInt("wave", int64(lo/cfg.WaveSize))
+		ws.SetInt("size", int64(hi-lo))
+		ws.SetFloat("budget", run.CycleBudget)
 		errs := make([]error, hi-lo)
-		core.ParallelForWorkers(hi-lo, cfg.Workers, func(i, _ int) {
+		core.ParallelForWorkers(hi-lo, cfg.Workers, func(i, w int) {
+			cs := ws.Child("search.candidate")
+			cs.SetStr("key", outs[lo+i].Candidate.Key())
+			cs.SetInt("worker", int64(w))
 			errs[i] = simulate(&outs[lo+i], in, run, base)
+			cs.SetFloat("cycles", outs[lo+i].Cycles)
+			cs.End()
 		})
 		for _, e := range errs {
 			if e != nil {
-				return nil, e
+				ws.End()
+				return nil, obs.FlightFailure("search.run", e)
 			}
 		}
 		for i := lo; i < hi; i++ {
@@ -311,6 +330,8 @@ func Run(in Input, ecfg engine.Config, cfg Config) (*Result, error) {
 				incumbent = outs[i].Cycles
 			}
 		}
+		ws.SetFloat("incumbent", incumbent)
+		ws.End()
 	}
 	res.Outcomes = outs
 

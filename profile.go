@@ -246,7 +246,7 @@ func (t *Tool) AnalyzeTrace(td *TraceData) (*Report, error) {
 		samples = append(samples, s)
 	}
 
-	rep := &Report{Bench: td.Bench, Config: td.Config}
+	rep := &Report{Bench: td.Bench, Config: td.Config, Samples: int64(len(samples))}
 	var contended []topology.Channel
 	for ch, vec := range features.ChannelVectors(t.machine, samples, weight, t.detector.MinSamples) {
 		v := vec

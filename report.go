@@ -35,6 +35,11 @@ type Report struct {
 	// cannot attribute.
 	UnattributedCF float64
 
+	// Samples counts the PEBS samples the verdict was computed from (after
+	// any time-range filtering). The run ledger uses it as the audit link
+	// between a recording and its report.
+	Samples int64
+
 	// Timeline slices the run into equal time windows and tracks remote
 	// pressure per window — when the contention happened, not just whether.
 	Timeline []TimelinePoint

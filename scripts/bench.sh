@@ -33,6 +33,11 @@
 #                     than this many times faster than the serial exhaustive
 #                     search; skipped with a warning on hosts with fewer
 #                     than 4 cores, where the parallel waves degenerate
+#   LEDGER_OUT        when set, also run a quick drbw-bench pass with
+#                     -ledger here, stamping the bench host with a
+#                     machine-readable drbw.ledger/1 audit record (config
+#                     hash, build info, timings, metrics snapshot) next to
+#                     the benchmark numbers
 #
 # The benchmarks tracked here cover the simulation hot path end to end plus
 # the offline trace pipeline: a full contended engine run, the batch
@@ -154,6 +159,11 @@ END {
 ' "$raw"
 
 echo "wrote $out"
+
+if [ -n "${LEDGER_OUT:-}" ]; then
+    go run ./cmd/drbw-bench -quick -exp tableI -ledger "$LEDGER_OUT" >/dev/null
+    echo "wrote $LEDGER_OUT"
+fi
 
 if [ -n "${MAX_ENGINE_ALLOCS:-}" ]; then
     # Worst variant across worker settings: the gate must hold for the

@@ -13,6 +13,7 @@ import (
 	"drbw/internal/core"
 	"drbw/internal/diagnose"
 	"drbw/internal/features"
+	"drbw/internal/obs"
 	"drbw/internal/pebs"
 	"drbw/internal/profiledata"
 	"drbw/internal/topology"
@@ -129,7 +130,8 @@ func (tr timeRange) skipBlock(e profiledata.IndexEntry) bool {
 // recording length, and the report is bit-identical to LoadTrace +
 // AnalyzeTrace on the same files.
 func (t *Tool) AnalyzeTraceFile(samplesPath, objectsPath string) (*Report, error) {
-	return t.analyzeTraceFileRange(samplesPath, objectsPath, fullRange())
+	rep, err := t.analyzeTraceFileRange(samplesPath, objectsPath, fullRange())
+	return rep, obs.FlightFailure("analyze.trace_file", err)
 }
 
 // AnalyzeTraceFileRange is AnalyzeTraceFile restricted to samples with
@@ -140,17 +142,21 @@ func (t *Tool) AnalyzeTraceFileRange(samplesPath, objectsPath string, lo, hi flo
 	if !(lo <= hi) {
 		return nil, fmt.Errorf("drbw: invalid time range [%v, %v]", lo, hi)
 	}
-	return t.analyzeTraceFileRange(samplesPath, objectsPath, timeRange{lo: lo, hi: hi, limited: true})
+	rep, err := t.analyzeTraceFileRange(samplesPath, objectsPath, timeRange{lo: lo, hi: hi, limited: true})
+	return rep, obs.FlightFailure("analyze.trace_file_range", err)
 }
 
 func (t *Tool) analyzeTraceFileRange(samplesPath, objectsPath string, tr timeRange) (*Report, error) {
+	sp := obs.BeginSpan("analyze.trace_file")
+	sp.SetStr("samples", samplesPath)
+	defer sp.End()
 	objects, err := readObjectsFile(objectsPath)
 	if err != nil {
 		return nil, err
 	}
 	if it, err := profiledata.OpenIndexedTrace(samplesPath); err == nil {
 		defer it.Close()
-		return t.analyzeIndexed(it, objects, tr)
+		return t.analyzeIndexed(it, objects, tr, sp)
 	}
 	// No usable index — CSV, compressed, foreign, or a damaged footer. The
 	// streaming path ignores trailing footers entirely, so it analyzes
@@ -166,10 +172,23 @@ func (t *Tool) analyzeTraceFileRange(samplesPath, objectsPath string, tr timeRan
 // itself is the parallelism — with per-worker decode buffers and
 // accumulators, so the batch allocates like a handful of serial analyses.
 func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
+	if len(paths) == 1 {
+		// A one-recording batch has no cross-file parallelism to exploit;
+		// route it through AnalyzeTraceFile so an indexed recording fans
+		// its block ranges across the pool instead of streaming serially.
+		// The reports are bit-identical either way.
+		rep, err := t.AnalyzeTraceFile(paths[0].Samples, paths[0].Objects)
+		if err != nil {
+			return []*Report{nil}, &BatchError{Cases: []CaseError{{Index: 0, Err: err}}}
+		}
+		return []*Report{rep}, nil
+	}
 	reports := make([]*Report, len(paths))
 	errs := make([]error, len(paths))
 	scratch := make([]*traceScratch, core.PoolWorkers())
-	core.ParallelForLabeledWorker(len(paths), "analyze.tracefiles", func(i, w int) {
+	sp := obs.BeginSpan("analyze.tracefiles")
+	core.ParallelForLabeledSpans(len(paths), "analyze.tracefiles", sp, func(i, w int, cs obs.SpanHandle) {
+		cs.SetStr("samples", paths[i].Samples)
 		if w >= len(scratch) {
 			// The pool width changed mid-call; fall back to fresh scratch.
 			fresh := &traceScratch{acc: features.NewAccumulator(t.machine)}
@@ -181,6 +200,7 @@ func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
 		}
 		reports[i], errs[i] = t.analyzeTraceFile(paths[i].Samples, paths[i].Objects, scratch[w])
 	})
+	sp.End()
 	var be BatchError
 	for i, err := range errs {
 		if err != nil {
@@ -188,6 +208,7 @@ func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
 		}
 	}
 	if len(be.Cases) > 0 {
+		obs.FlightFailure("analyze.tracefiles", &be)
 		return reports, &be
 	}
 	return reports, nil
@@ -199,9 +220,17 @@ func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
 // concurrently on the worker pool and the merged report is bit-identical
 // to analyzing the concatenation of the shards in order.
 func (t *Tool) AnalyzeTraceShards(samplePaths []string, objectsPath string) (*Report, error) {
+	rep, err := t.analyzeTraceShards(samplePaths, objectsPath)
+	return rep, obs.FlightFailure("analyze.shards", err)
+}
+
+func (t *Tool) analyzeTraceShards(samplePaths []string, objectsPath string) (*Report, error) {
 	if len(samplePaths) == 0 {
 		return nil, fmt.Errorf("drbw: no sample shards given")
 	}
+	sp := obs.BeginSpan("analyze.shards")
+	sp.SetInt("shards", int64(len(samplePaths)))
+	defer sp.End()
 	objects, err := readObjectsFile(objectsPath)
 	if err != nil {
 		return nil, err
@@ -214,24 +243,29 @@ func (t *Tool) AnalyzeTraceShards(samplePaths []string, objectsPath string) (*Re
 	}
 	jobs := make([]shardJob, len(samplePaths))
 	for i, path := range samplePaths {
-		path := path
-		jobs[i] = func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error {
-			f, err := os.Open(path)
-			if err != nil {
-				return fmt.Errorf("drbw: %w", err)
-			}
-			defer f.Close()
-			sr, err := profiledata.NewSampleReaderBuffers(f, bufs)
-			if err != nil {
-				return err
-			}
-			if sr.Weight() != weight {
-				return fmt.Errorf("drbw: shard %s has weight %v, the first shard has %v", path, sr.Weight(), weight)
-			}
-			return drainReader(sr, emit)
+		i, path := i, path
+		jobs[i] = shardJob{
+			name: path,
+			from: i,
+			to:   i + 1,
+			run: func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error {
+				f, err := os.Open(path)
+				if err != nil {
+					return fmt.Errorf("drbw: %w", err)
+				}
+				defer f.Close()
+				sr, err := profiledata.NewSampleReaderBuffers(f, bufs)
+				if err != nil {
+					return err
+				}
+				if sr.Weight() != weight {
+					return fmt.Errorf("drbw: shard %s has weight %v, the first shard has %v", path, sr.Weight(), weight)
+				}
+				return drainReader(sr, emit)
+			},
 		}
 	}
-	return t.analyzeJobs(jobs, weight, objects, fullRange(), "analyze.shards")
+	return t.analyzeJobs(jobs, weight, objects, fullRange(), "analyze.shards", sp)
 }
 
 // AnalyzeTraceShardDir is AnalyzeTraceShards over a directory: every
@@ -240,7 +274,7 @@ func (t *Tool) AnalyzeTraceShards(samplePaths []string, objectsPath string) (*Re
 func (t *Tool) AnalyzeTraceShardDir(dir string) (*Report, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("drbw: %w", err)
+		return nil, obs.FlightFailure("analyze.shard_dir", fmt.Errorf("drbw: %w", err))
 	}
 	var shards []string
 	var objects []string
@@ -257,24 +291,30 @@ func (t *Tool) AnalyzeTraceShardDir(dir string) (*Report, error) {
 		}
 	}
 	if len(shards) == 0 {
-		return nil, fmt.Errorf("drbw: no *.samples.* shards in %s", dir)
+		return nil, obs.FlightFailure("analyze.shard_dir", fmt.Errorf("drbw: no *.samples.* shards in %s", dir))
 	}
 	if len(objects) != 1 {
-		return nil, fmt.Errorf("drbw: %s holds %d *.objects.csv files, want exactly one", dir, len(objects))
+		return nil, obs.FlightFailure("analyze.shard_dir", fmt.Errorf("drbw: %s holds %d *.objects.csv files, want exactly one", dir, len(objects)))
 	}
 	sort.Strings(shards)
 	return t.AnalyzeTraceShards(shards, objects[0])
 }
 
 // shardJob streams one independently decodable portion of a recording — a
-// block range of an indexed trace, or one whole shard file — through emit,
+// block range of an indexed trace, or one whole shard file — through run,
 // using the worker's decode scratch. A job must yield the same samples
-// every time it runs (both passes replay it).
-type shardJob func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error
+// every time it runs (both passes replay it). name and [from, to) identify
+// the portion for trace spans and error messages: the shard path and shard
+// index for shard jobs, or the block range for indexed block-range jobs.
+type shardJob struct {
+	name     string
+	from, to int
+	run      func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error
+}
 
 // analyzeIndexed fans the blocks of one indexed recording across the
 // worker pool as contiguous block-range jobs.
-func (t *Tool) analyzeIndexed(it *profiledata.IndexedTrace, objects []alloc.Object, tr timeRange) (*Report, error) {
+func (t *Tool) analyzeIndexed(it *profiledata.IndexedTrace, objects []alloc.Object, tr timeRange, sp obs.SpanHandle) (*Report, error) {
 	// Keep only blocks whose time range intersects tr, grouped into maximal
 	// contiguous runs (block time ranges need not be sorted, so pruning can
 	// split the keep-set).
@@ -309,16 +349,21 @@ func (t *Tool) analyzeIndexed(it *profiledata.IndexedTrace, objects []alloc.Obje
 				to = r.to
 			}
 			from, to := from, to
-			jobs = append(jobs, func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error {
-				sr, err := it.RangeReader(from, to, bufs)
-				if err != nil {
-					return err
-				}
-				return drainReader(sr, emit)
+			jobs = append(jobs, shardJob{
+				name: "blocks",
+				from: from,
+				to:   to,
+				run: func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error {
+					sr, err := it.RangeReader(from, to, bufs)
+					if err != nil {
+						return err
+					}
+					return drainReader(sr, emit)
+				},
 			})
 		}
 	}
-	return t.analyzeJobs(jobs, it.Weight(), objects, tr, "analyze.blocks")
+	return t.analyzeJobs(jobs, it.Weight(), objects, tr, "analyze.blocks", sp)
 }
 
 // drainReader feeds every remaining block of sr to emit.
@@ -370,14 +415,24 @@ func (ss *shardStates) get(w int) *shardState {
 	return ss.states[w]
 }
 
+// annotate attaches a job's portion identity to its trace span.
+func (j *shardJob) annotate(cs obs.SpanHandle, pass int64) {
+	cs.SetStr("portion", j.name)
+	cs.SetInt("from", int64(j.from))
+	cs.SetInt("to", int64(j.to))
+	cs.SetInt("pass", pass)
+}
+
 // analyzeJobs is the shared two-pass shard runner: every job is streamed
 // once to build features and the timeline range, and once more to bucket
 // the timeline and attribute CF. Per-worker accumulators merge in worker
 // order; counts are integers and sums are exact, so the merged report is
 // bit-identical to the serial pipeline over the jobs' concatenated samples
 // regardless of worker count or scheduling. Errors surface from the
-// lowest-indexed failing job so reruns are deterministic.
-func (t *Tool) analyzeJobs(jobs []shardJob, weight float64, objects []alloc.Object, tr timeRange, label string) (*Report, error) {
+// lowest-indexed failing job so reruns are deterministic. When a tracer is
+// installed every job becomes a child span of parent carrying the portion
+// name, [from, to) range, pass number, and worker id.
+func (t *Tool) analyzeJobs(jobs []shardJob, weight float64, objects []alloc.Object, tr timeRange, label string, parent obs.SpanHandle) (*Report, error) {
 	// Pass one: validate, extract features, find the time range.
 	ss := &shardStates{make: func() *shardState {
 		return &shardState{
@@ -387,10 +442,11 @@ func (t *Tool) analyzeJobs(jobs []shardJob, weight float64, objects []alloc.Obje
 	}}
 	rawPass1 := make([]int64, len(jobs))
 	errs := make([]error, len(jobs))
-	core.ParallelForLabeledWorker(len(jobs), label, func(i, w int) {
+	core.ParallelForLabeledSpans(len(jobs), label, parent, func(i, w int, cs obs.SpanHandle) {
+		jobs[i].annotate(cs, 1)
 		st := ss.get(w)
 		start := st.raw
-		errs[i] = jobs[i](&st.bufs, func(block []pebs.Sample) error {
+		errs[i] = jobs[i].run(&st.bufs, func(block []pebs.Sample) error {
 			st.raw += int64(len(block))
 			block = tr.filter(block)
 			st.kept += int64(len(block))
@@ -434,7 +490,7 @@ func (t *Tool) analyzeJobs(jobs []shardJob, weight float64, objects []alloc.Obje
 		return nil, errNoSamples(tr, raw)
 	}
 
-	rep := &Report{}
+	rep := &Report{Samples: total}
 	contended := t.classify(acc, weight, rep)
 
 	// Pass two: bucket the timeline and, when contended, attribute CF
@@ -465,10 +521,11 @@ func (t *Tool) analyzeJobs(jobs []shardJob, weight float64, objects []alloc.Obje
 		ss2.states[w] = s2
 	}
 	rawPass2 := make([]int64, len(jobs))
-	core.ParallelForLabeledWorker(len(jobs), label, func(i, w int) {
+	core.ParallelForLabeledSpans(len(jobs), label, parent, func(i, w int, cs obs.SpanHandle) {
+		jobs[i].annotate(cs, 2)
 		st := ss2.get(w)
 		start := st.raw
-		errs[i] = jobs[i](&st.bufs, func(block []pebs.Sample) error {
+		errs[i] = jobs[i].run(&st.bufs, func(block []pebs.Sample) error {
 			st.raw += int64(len(block))
 			block = tr.filter(block)
 			st.tlf.Add(block)
@@ -551,7 +608,7 @@ func (t *Tool) analyzeTraceFileSerial(samplesPath string, objects []alloc.Object
 		return nil, errNoSamples(tr, int(raw1))
 	}
 
-	rep := &Report{}
+	rep := &Report{Samples: kept}
 	contended := t.classify(sc.acc, weight, rep)
 
 	// Pass two: bucket the timeline and, when contended, attribute CF
