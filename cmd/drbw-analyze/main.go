@@ -38,6 +38,12 @@
 // Without -model a classifier is trained first; with it, the saved model
 // from drbw-train -o is used and no simulation runs at all.
 //
+// -cache names a result-cache directory: repeat analyses of a recording
+// already analyzed with the same model are served from the cache instead of
+// being recomputed, with bit-identical reports (keys are content hashes of
+// the recording and the model, so editing either is automatically a miss).
+// The run's hit/miss counts are reported on stderr.
+//
 // Observability: -http serves /metrics (JSON registry snapshot, or
 // Prometheus text with ?format=prom), /debug/vars (expvar), /debug/pprof
 // and /debug/flight (recent-event dump) on the given address for the
@@ -74,6 +80,7 @@ func main() {
 	convert := flag.String("convert", "", "transcode the recordings to this output prefix (or comma-separated prefix list) instead of analyzing")
 	format := flag.String("format", "binary", "target format for -convert: csv or binary")
 	model := flag.String("model", "", "saved classifier from drbw-train -o")
+	cacheDir := flag.String("cache", "", "result-cache directory; repeat analyses with the same model and recordings are served from it")
 	quick := flag.Bool("quick", false, "quick training when no -model is given")
 	workers := flag.Int("workers", 0, "worker goroutines for multi-trace analysis and each training run's window stage (0 = GOMAXPROCS, 1 = serial); never changes results")
 	httpAddr := flag.String("http", "", "serve /metrics and /debug/pprof on this address")
@@ -177,6 +184,13 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	var cache *drbw.Cache
+	if *cacheDir != "" {
+		if cache, err = drbw.OpenCache(*cacheDir, drbw.CacheOptions{}); err != nil {
+			die(err)
+		}
+		tool.SetCache(cache)
+	}
 
 	analyzeStart := time.Now()
 	if *shards != "" {
@@ -190,6 +204,7 @@ func main() {
 		if *metrics {
 			printMetrics()
 		}
+		printCacheStats(cache)
 		writeArtifacts()
 		return
 	}
@@ -246,11 +261,22 @@ func main() {
 	if *metrics {
 		printMetrics()
 	}
+	printCacheStats(cache)
 	writeArtifacts()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// printCacheStats reports the run's result-cache traffic on stderr.
+func printCacheStats(cache *drbw.Cache) {
+	if cache == nil {
+		return
+	}
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d shared, %d corrupt\n",
+		st.Hits, st.Misses, st.Shared, st.Corrupt)
 }
 
 // convertTraces transcodes each recording to the target format under its

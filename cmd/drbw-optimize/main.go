@@ -26,6 +26,11 @@
 //
 // Without -model a classifier is trained first; -quick trains on the
 // reduced set.
+//
+// -cache names a result-cache directory: a case already optimized with the
+// same model and engine configuration is served from the cache, and a rerun
+// with different search options still reuses its cached detection verdict
+// and baseline measurement. Hit/miss counts are reported on stderr.
 package main
 
 import (
@@ -48,6 +53,7 @@ func main() {
 	nodes := flag.Int("nodes", 4, "NUMA nodes used")
 	seed := flag.Uint64("seed", 1, "base seed; benchmarks are decorrelated from it")
 	model := flag.String("model", "", "saved classifier from drbw-train -o")
+	cacheDir := flag.String("cache", "", "result-cache directory; repeat optimizations with the same model are served from it")
 	quick := flag.Bool("quick", false, "quick training when no -model is given")
 	topk := flag.Int("topk", 0, "top-CF objects the search combines (0 = default 3)")
 	frontier := flag.Int("frontier", 0, "candidates simulated after analytic ranking (0 = default 12, negative = all)")
@@ -116,6 +122,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var cache *drbw.Cache
+	if *cacheDir != "" {
+		if cache, err = drbw.OpenCache(*cacheDir, drbw.CacheOptions{}); err != nil {
+			log.Fatal(err)
+		}
+		tool.SetCache(cache)
+	}
 
 	opts := drbw.SearchOptions{
 		TopObjects: *topk,
@@ -154,6 +167,11 @@ func main() {
 		} else {
 			fmt.Fprintln(os.Stderr, err)
 		}
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d shared, %d corrupt\n",
+			st.Hits, st.Misses, st.Shared, st.Corrupt)
 	}
 	writeArtifacts()
 	if failed > 0 {

@@ -142,6 +142,54 @@ func BenchmarkAnalyzeTrace(b *testing.B) {
 	})
 }
 
+// BenchmarkAnalyzeCached pins the result cache's payoff on the 1M-sample
+// recording: cold clears the cache every iteration (fingerprint + full
+// analysis + store), warm primes once and then every iteration is a
+// fingerprint + memory-tier hit. scripts/bench.sh derives the cache-speedup
+// gate (warm must be >= MIN_CACHE_SPEEDUP times faster than cold) from the
+// pair; the reports are bit-identical either way.
+func BenchmarkAnalyzeCached(b *testing.B) {
+	tool := sharedTool(b)
+	td := codecTrace(benchTraceSamples)
+	dir := b.TempDir()
+	sPath := filepath.Join(dir, "samples.bin")
+	oPath := filepath.Join(dir, "objects.csv")
+	if err := td.SaveAs(sPath, oPath, drbw.FormatBinary); err != nil {
+		b.Fatal(err)
+	}
+	cache, err := drbw.OpenCache(filepath.Join(dir, "cache"), drbw.CacheOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tool.SetCache(cache)
+	defer tool.SetCache(nil)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := cache.Clear(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := tool.AnalyzeTraceFile(sPath, oPath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		if _, err := tool.AnalyzeTraceFile(sPath, oPath); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tool.AnalyzeTraceFile(sPath, oPath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkShardAnalyze pins the block-parallel analysis of one indexed
 // recording: serial is the same fan-out capped at one worker, parallel uses
 // the full pool. scripts/bench.sh derives the shard-speedup gate from the

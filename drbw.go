@@ -33,7 +33,10 @@
 package drbw
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"sync"
 
 	"drbw/internal/core"
 	"drbw/internal/diagnose"
@@ -44,6 +47,7 @@ import (
 	"drbw/internal/optimize"
 	"drbw/internal/pebs"
 	"drbw/internal/program"
+	"drbw/internal/rcache"
 	"drbw/internal/search"
 	"drbw/internal/topology"
 	"drbw/internal/workloads"
@@ -180,6 +184,10 @@ type Tool struct {
 	tree     *dtree.Tree
 	detector *core.Detector
 	summary  map[string]map[string]int // persisted training summary
+
+	cache  *Cache // optional result cache (SetCache)
+	fpOnce sync.Once
+	fp     toolFingerprints
 }
 
 // Train collects the micro-benchmark training set on the configured machine
@@ -504,16 +512,73 @@ type Optimization struct {
 // are ranked by an analytic cost model; only the top-scoring frontier is
 // simulated, in parallel, under a branch-and-bound cycle budget. The chosen
 // placement is deterministic at any worker count.
+//
+// With a cache attached (SetCache) the whole outcome is served from cache
+// on a repeat run; a rerun with different search options reuses the cached
+// detection verdict and baseline measurement, re-simulating only the
+// candidate placements.
 func (t *Tool) AutoOptimize(bench string, c Case, opts SearchOptions) (*Optimization, error) {
+	if t.cache == nil {
+		return t.autoOptimize(bench, c, opts, "")
+	}
+	_, simFP, err := t.fingerprints()
+	if err != nil {
+		return nil, err
+	}
+	key := rcache.KeyOf("optimize", simFP, bench, caseToken(c), optsToken(opts))
+	var computed *Optimization
+	val, _, err := t.cache.c.Do(key, func() ([]byte, error) {
+		o, cerr := t.autoOptimize(bench, c, opts, simFP)
+		if cerr != nil {
+			return nil, cerr
+		}
+		computed = o
+		b, merr := json.Marshal(o)
+		if merr != nil {
+			return nil, errNotCacheable
+		}
+		return b, nil
+	})
+	if computed != nil {
+		return computed, nil
+	}
+	if err != nil {
+		if errors.Is(err, errNotCacheable) {
+			return t.autoOptimize(bench, c, opts, simFP)
+		}
+		return nil, err
+	}
+	o := new(Optimization)
+	if uerr := json.Unmarshal(val, o); uerr != nil {
+		return t.autoOptimize(bench, c, opts, simFP)
+	}
+	return o, nil
+}
+
+// autoOptimize is the uncached body. A non-empty simFP enables the
+// sub-result caches: a cached clean verdict skips the profiling run
+// entirely, and a cached baseline spares the search its most expensive
+// single simulation. A cached *contended* verdict cannot short-circuit —
+// the search needs the detection's retained samples and heap, which are
+// deliberately not persisted.
+func (t *Tool) autoOptimize(bench string, c Case, opts SearchOptions, simFP string) (*Optimization, error) {
 	b, err := t.builder(bench)
 	if err != nil {
 		return nil, err
+	}
+	if simFP != "" {
+		if rep, ok := t.cachedDetectReport(simFP, bench, c); ok && !rep.Detected {
+			return &Optimization{Report: rep, Detected: false}, nil
+		}
 	}
 	dn, err := t.detector.Detect(b, t.machine, c.config())
 	if err != nil {
 		return nil, err
 	}
 	out := &Optimization{Report: reportFromDetection(dn), Detected: dn.Detected}
+	if simFP != "" {
+		t.putDetectReport(simFP, bench, c, out.Report)
+	}
 	if !dn.Detected {
 		return out, nil
 	}
@@ -526,9 +591,16 @@ func (t *Tool) AutoOptimize(bench string, c Case, opts SearchOptions) (*Optimiza
 		scfg.Frontier = -1
 		scfg.DisableBudget = true
 	}
+	var baseCached bool
+	if simFP != "" {
+		scfg.Baseline, baseCached = t.cachedBaseline(simFP, bench, c)
+	}
 	res, err := search.FromDetection(dn, t.cfg.engineConfig(), scfg)
 	if err != nil {
 		return nil, err
+	}
+	if simFP != "" && !baseCached && res.Baseline != nil {
+		t.putBaseline(simFP, bench, c, res.Baseline)
 	}
 	out.Candidates = len(res.Outcomes)
 	out.Explored = res.Explored

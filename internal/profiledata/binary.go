@@ -176,10 +176,11 @@ func WriteSamplesBinary(w io.Writer, samples []pebs.Sample, weight float64, opt 
 			end = len(samples)
 		}
 		block := samples[start:end]
+		var e IndexEntry
 		if writeIndex {
 			// Decoder seed state is the encoder's running deltas as they
 			// stand *before* this block.
-			e := IndexEntry{
+			e = IndexEntry{
 				Offset: off, Count: len(block),
 				PrevTime: enc.prevTime, PrevAddr: enc.prevAddr, PrevLat: enc.prevLat,
 				MinTime: block[0].Time, MaxTime: block[0].Time,
@@ -198,13 +199,17 @@ func WriteSamplesBinary(w io.Writer, samples []pebs.Sample, weight float64, opt 
 					e.MaxTime = block[i].Time
 				}
 			}
-			if writeIndex {
-				entries = append(entries, e)
-			}
 		}
 		payload, err := enc.encode(block)
 		if err != nil {
 			return err
+		}
+		if writeIndex {
+			// The entry checksums the payload bytes as written, so range
+			// reads can verify blocks and FileFingerprint can identify the
+			// recording's content from the index alone.
+			e.Sum = blockChecksum(payload)
+			entries = append(entries, e)
 		}
 		n := binary.PutUvarint(head[:], uint64(len(block)))
 		n += binary.PutUvarint(head[n:], uint64(len(payload)))

@@ -1,0 +1,252 @@
+package profiledata
+
+// Tests for the DRBWIDX2 checksummed footer and the content fingerprints
+// built on it: the v1 form must keep parsing (and reading it must behave as
+// if no checksums exist), the v2 sums must pin the payload bytes exactly,
+// and corruption must surface as a checksum error on the damaged block only.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// rewriteFooterV1 replaces a recording's DRBWIDX2 footer with the legacy
+// DRBWIDX1 form carrying the same entries.
+func rewriteFooterV1(t *testing.T, data []byte) []byte {
+	t.Helper()
+	idx, err := ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	out.Write(data[:idx.DataEnd+1])
+	bw := bufio.NewWriter(&out)
+	if err := writeBlockIndexVersioned(bw, idx.Entries, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestFooterV1Compat: a legacy DRBWIDX1 footer still parses — without
+// checksums — and everything built on checksums degrades exactly as
+// documented: no index fingerprint, no range verification, and
+// FileFingerprint falls back to the full-content hash.
+func TestFooterV1Compat(t *testing.T) {
+	samples := testTrace(500, 31)
+	var buf bytes.Buffer
+	if err := WriteSamplesBinary(&buf, samples, 2, BinaryOptions{BlockSize: 64, Index: true}); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	v1 := rewriteFooterV1(t, v2)
+
+	idx2, err := ReadBlockIndex(bytes.NewReader(v2), int64(len(v2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx1, err := ReadBlockIndex(bytes.NewReader(v1), int64(len(v1)))
+	if err != nil {
+		t.Fatalf("v1 footer no longer parses: %v", err)
+	}
+	if !idx2.HasSums || idx1.HasSums {
+		t.Fatalf("HasSums: v2=%v v1=%v, want true/false", idx2.HasSums, idx1.HasSums)
+	}
+	stripped := append([]IndexEntry(nil), idx2.Entries...)
+	for i := range stripped {
+		stripped[i].Sum = 0
+	}
+	if !reflect.DeepEqual(idx1.Entries, stripped) {
+		t.Fatal("v1 entries differ from v2 entries beyond the checksum field")
+	}
+
+	// The v1 recording still range-reads in full (just unverified) ...
+	it, err := NewIndexedTrace(bytes.NewReader(v1), int64(len(v1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.HasChecksums() {
+		t.Fatal("v1 trace claims checksums")
+	}
+	if _, ok := it.Fingerprint(); ok {
+		t.Fatal("v1 trace produced an index fingerprint")
+	}
+	rr, err := it.RangeReader(0, it.Blocks(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rr.appendRemaining(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, samples) {
+		t.Fatal("v1 range read differs from the written samples")
+	}
+	// ... and the streaming reader never cared about either footer.
+	for name, data := range map[string][]byte{"v1": v1, "v2": v2} {
+		dec, w, err := ReadSamples(bytes.NewReader(data))
+		if err != nil || w != 2 || !reflect.DeepEqual(dec, samples) {
+			t.Fatalf("%s: streaming read differs (err %v)", name, err)
+		}
+	}
+
+	// FileFingerprint: index form for v2, full-hash fallback for v1.
+	dir := t.TempDir()
+	p2, p1 := filepath.Join(dir, "v2.bin"), filepath.Join(dir, "v1.bin")
+	if err := os.WriteFile(p2, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p1, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := FileFingerprint(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp1, err := FileFingerprint(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Fatal("full-hash and index fingerprints collided")
+	}
+	it2, err := OpenIndexedTrace(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	if fp, ok := it2.Fingerprint(); !ok || fp != fp2 {
+		t.Fatalf("FileFingerprint(%s) = %s, want the index fingerprint %s", p2, fp2, fp)
+	}
+}
+
+// TestFooterV2Sums: the written checksums are exactly the CRC-64 of each
+// block's payload bytes as they sit in the file.
+func TestFooterV2Sums(t *testing.T) {
+	samples := testTrace(300, 37)
+	var buf bytes.Buffer
+	if err := WriteSamplesBinary(&buf, samples, 1, BinaryOptions{BlockSize: 32, Index: true}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	idx, err := ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range idx.Entries {
+		p := data[e.Offset:]
+		_, n1 := binary.Uvarint(p)
+		plen, n2 := binary.Uvarint(p[n1:])
+		payload := p[n1+n2 : n1+n2+int(plen)]
+		if got := blockChecksum(payload); got != e.Sum {
+			t.Fatalf("entry %d: recomputed checksum %#x, footer claims %#x", i, got, e.Sum)
+		}
+	}
+}
+
+// TestBlockChecksumDetectsCorruption: flipping one payload byte makes the
+// damaged block's range read fail with a checksum error while every other
+// block still reads cleanly.
+func TestBlockChecksumDetectsCorruption(t *testing.T) {
+	samples := testTrace(400, 41)
+	var buf bytes.Buffer
+	if err := WriteSamplesBinary(&buf, samples, 1, BinaryOptions{BlockSize: 64, Index: true}); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	idx, err := ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Entries) < 3 {
+		t.Fatalf("want >= 3 blocks, got %d", len(idx.Entries))
+	}
+	victim := 1
+	e := idx.Entries[victim]
+	_, n1 := binary.Uvarint(data[e.Offset:])
+	plen, n2 := binary.Uvarint(data[e.Offset+int64(n1):])
+	data[e.Offset+int64(n1+n2)+int64(plen)/2] ^= 0x20
+
+	it, err := NewIndexedTrace(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < it.Blocks(); b++ {
+		rr, err := it.RangeReader(b, b+1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = rr.appendRemaining(nil)
+		if b == victim {
+			if err == nil || !strings.Contains(err.Error(), "checksum") {
+				t.Fatalf("block %d: corrupt payload read back as %v, want a checksum error", b, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("undamaged block %d: %v", b, err)
+		}
+	}
+}
+
+// TestFileFingerprintIdentity: the fingerprint is a function of content
+// only — stable across identical writes and distinct paths, different the
+// moment a sample or a byte changes, and defined for every input kind.
+func TestFileFingerprintIdentity(t *testing.T) {
+	samples := testTrace(200, 43)
+	dir := t.TempDir()
+	write := func(name string, data []byte) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	var a bytes.Buffer
+	if err := WriteSamplesBinary(&a, samples, 1, BinaryOptions{BlockSize: 32, Index: true}); err != nil {
+		t.Fatal(err)
+	}
+	fpOf := func(name string, data []byte) string {
+		t.Helper()
+		fp, err := FileFingerprint(write(name, data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fp
+	}
+	fpA := fpOf("a.bin", a.Bytes())
+	if fpB := fpOf("b.bin", a.Bytes()); fpB != fpA {
+		t.Fatal("identical content under a different path fingerprints differently")
+	}
+
+	changed := testTrace(200, 43)
+	changed[100].Latency += 1
+	var c bytes.Buffer
+	if err := WriteSamplesBinary(&c, changed, 1, BinaryOptions{BlockSize: 32, Index: true}); err != nil {
+		t.Fatal(err)
+	}
+	if fpOf("c.bin", c.Bytes()) == fpA {
+		t.Fatal("a changed sample kept the same fingerprint")
+	}
+
+	var csv bytes.Buffer
+	if err := WriteSamples(&csv, samples, 1); err != nil {
+		t.Fatal(err)
+	}
+	fpCSV := fpOf("d.csv", csv.Bytes())
+	if fpCSV == fpA {
+		t.Fatal("CSV and indexed-binary encodings fingerprint identically")
+	}
+	if fpOf("e.csv", append(append([]byte(nil), csv.Bytes()...), '\n')) == fpCSV {
+		t.Fatal("an appended byte kept the same full-hash fingerprint")
+	}
+}

@@ -1,6 +1,7 @@
 package profiledata
 
 import (
+	"bufio"
 	"bytes"
 	"reflect"
 	"testing"
@@ -35,6 +36,35 @@ func FuzzReadSamples(f *testing.F) {
 		if opt.Index && !opt.Compress {
 			f.Add(bin.Bytes()[:bin.Len()-8])            // truncated index trailer
 			f.Add(bin.Bytes()[:bin.Len()-indexTailLen]) // footerless tail
+		}
+	}
+	// Footer-version seeds: the legacy DRBWIDX1 form, and targeted bit
+	// flips in the DRBWIDX2 checksum region (damaged sums must read as
+	// checksum errors or ErrNoIndex, never as silently different samples).
+	{
+		var bin bytes.Buffer
+		if err := WriteSamplesBinary(&bin, samples, 2.5, BinaryOptions{BlockSize: 16, Index: true}); err != nil {
+			f.Fatal(err)
+		}
+		data := bin.Bytes()
+		idx, err := ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			f.Fatal(err)
+		}
+		var v1 bytes.Buffer
+		v1.Write(data[:idx.DataEnd+1])
+		bw := bufio.NewWriter(&v1)
+		if err := writeBlockIndexVersioned(bw, idx.Entries, false); err != nil {
+			f.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(v1.Bytes())
+		for _, off := range []int{len(data) - indexTailLen - 1, len(data) - indexTailLen - 9, int(idx.DataEnd) + 2} {
+			flipped := append([]byte(nil), data...)
+			flipped[off] ^= 1
+			f.Add(flipped)
 		}
 	}
 	f.Add([]byte(binaryMagic))

@@ -10,14 +10,16 @@ package profiledata
 // readers — they stop at the terminator and never reach it — and absent
 // from CSV and compressed recordings:
 //
-//	footer:  payload, uint64 LE payload length, magic "DRBWIDX1"
+//	footer:  payload, uint64 LE payload length, magic "DRBWIDX1" or
+//	         "DRBWIDX2"
 //	payload: uvarint entry count, then per entry:
 //	         uvarint offset delta from the previous entry (first absolute),
 //	         uvarint sample count,
 //	         zigzag varint decoder prevTime,
 //	         uvarint decoder prevAddr,
 //	         zigzag varint decoder prevLat,
-//	         min time float64 LE, max time float64 LE
+//	         min time float64 LE, max time float64 LE,
+//	         (DRBWIDX2 only) block payload checksum uint64 LE
 //
 // The seed state is what makes blocks independently decodable: v3 columns
 // delta-encode across block boundaries, so a reader seeked to block i can
@@ -25,12 +27,26 @@ package profiledata
 // stood. With it, any contiguous block range decodes to exactly the same
 // samples a front-to-back read would produce, which is the foundation of
 // the shard-parallel analysis path.
+//
+// DRBWIDX2 appends one fixed-width field per entry: a CRC-64 (ECMA) of the
+// block's payload bytes, computed at encode time. It buys two things: range
+// readers verify each block they decode against it, and the whole
+// recording's content can be fingerprinted from the index alone — header
+// fields plus per-block counts and checksums — in O(index bytes) instead of
+// rehashing the file (see FileFingerprint). The writer always emits
+// DRBWIDX2 now; this reader accepts both versions (a DRBWIDX1 footer simply
+// has no checksums to verify or fingerprint from), and readers that predate
+// DRBWIDX2 see an unknown trailing magic, report ErrNoIndex, and fall back
+// to the streaming path — correct results, just no block fan-out. Streaming
+// readers themselves stop at the body terminator and never parse either
+// footer.
 
 import (
 	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"math"
 	"os"
@@ -38,18 +54,24 @@ import (
 	"drbw/internal/cache"
 )
 
-// indexMagic closes every indexed v3 recording. Distinct from binaryMagic
-// so a truncated file can never present a stale footer as a header or vice
-// versa.
+// indexMagic closes every DRBWIDX1 recording (no per-block checksums).
+// Distinct from binaryMagic so a truncated file can never present a stale
+// footer as a header or vice versa.
 const indexMagic = "DRBWIDX1"
+
+// indexMagicV2 closes every checksummed recording — what the writer emits.
+// Same length as indexMagic, so one trailer read resolves either version.
+const indexMagicV2 = "DRBWIDX2"
 
 // indexTailLen is the fixed-size trailer: uint64 payload length + magic.
 const indexTailLen = 8 + len(indexMagic)
 
-// minIndexEntryLen is the narrowest possible encoded entry (five one-byte
-// varints plus two float64 times), bounding the entry count a footer can
-// plausibly claim.
+// minIndexEntryLen is the narrowest possible encoded DRBWIDX1 entry (five
+// one-byte varints plus two float64 times), bounding the entry count a
+// footer can plausibly claim; DRBWIDX2 entries add a fixed 8-byte checksum.
 const minIndexEntryLen = 5 + 16
+
+const minIndexEntryLenV2 = minIndexEntryLen + 8
 
 // ErrNoIndex reports that a recording carries no block index footer — it is
 // CSV, compressed, written without BinaryOptions.Index, or truncated before
@@ -69,6 +91,10 @@ type IndexEntry struct {
 	PrevTime int64
 	PrevAddr uint64
 	PrevLat  int64
+	// Sum is the CRC-64 (ECMA) of the block's payload bytes. Only
+	// meaningful when the index carries checksums (BlockIndex.HasSums);
+	// zero otherwise.
+	Sum uint64
 }
 
 // BlockIndex is a recording's decoded block index.
@@ -77,10 +103,28 @@ type BlockIndex struct {
 	// DataEnd is the file offset of the body terminator — one past the last
 	// block's final byte.
 	DataEnd int64
+	// HasSums reports a DRBWIDX2 footer: every entry carries a payload
+	// checksum, range reads verify against it, and the recording can be
+	// fingerprinted from the index alone.
+	HasSums bool
 }
 
-// writeBlockIndex appends the index footer for the given entries.
+// blockSumTable is the CRC-64 polynomial the per-block checksums use.
+var blockSumTable = crc64.MakeTable(crc64.ECMA)
+
+// blockChecksum is the DRBWIDX2 per-block payload checksum.
+func blockChecksum(payload []byte) uint64 {
+	return crc64.Checksum(payload, blockSumTable)
+}
+
+// writeBlockIndex appends the checksummed (DRBWIDX2) index footer.
 func writeBlockIndex(w *bufio.Writer, entries []IndexEntry) error {
+	return writeBlockIndexVersioned(w, entries, true)
+}
+
+// writeBlockIndexVersioned writes either footer version. The DRBWIDX1 form
+// exists for compatibility tests — the writer proper always emits DRBWIDX2.
+func writeBlockIndexVersioned(w *bufio.Writer, entries []IndexEntry, withSums bool) error {
 	var payload []byte
 	var v8 [binary.MaxVarintLen64]byte
 	putUvarint := func(u uint64) {
@@ -103,13 +147,22 @@ func writeBlockIndex(w *bufio.Writer, entries []IndexEntry) error {
 		putUvarint(zigzag(e.PrevLat))
 		putFloat(e.MinTime)
 		putFloat(e.MaxTime)
+		if withSums {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], e.Sum)
+			payload = append(payload, b[:]...)
+		}
 	}
 	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("profiledata: writing block index: %w", err)
 	}
+	magic := indexMagic
+	if withSums {
+		magic = indexMagicV2
+	}
 	var tail [indexTailLen]byte
 	binary.LittleEndian.PutUint64(tail[:8], uint64(len(payload)))
-	copy(tail[8:], indexMagic)
+	copy(tail[8:], magic)
 	if _, err := w.Write(tail[:]); err != nil {
 		return fmt.Errorf("profiledata: writing block index: %w", err)
 	}
@@ -132,7 +185,14 @@ func ReadBlockIndex(r io.ReaderAt, size int64) (*BlockIndex, error) {
 	if _, err := r.ReadAt(tail[:], size-int64(indexTailLen)); err != nil {
 		return nil, fmt.Errorf("profiledata: reading index trailer: %w", corruptEOF(err))
 	}
-	if string(tail[8:]) != indexMagic {
+	hasSums := false
+	entryLen := int64(minIndexEntryLen)
+	switch string(tail[8:]) {
+	case indexMagic:
+	case indexMagicV2:
+		hasSums = true
+		entryLen = minIndexEntryLenV2
+	default:
 		return nil, ErrNoIndex
 	}
 	plen := binary.LittleEndian.Uint64(tail[:8])
@@ -150,10 +210,10 @@ func ReadBlockIndex(r io.ReaderAt, size int64) (*BlockIndex, error) {
 	if err != nil {
 		return nil, fmt.Errorf("profiledata: corrupt block index: %w", err)
 	}
-	if n > plen/minIndexEntryLen {
+	if n > plen/uint64(entryLen) {
 		return nil, fmt.Errorf("profiledata: block index claims %d entries in %d bytes", n, plen)
 	}
-	idx := &BlockIndex{Entries: make([]IndexEntry, 0, n), DataEnd: dataEnd}
+	idx := &BlockIndex{Entries: make([]IndexEntry, 0, n), DataEnd: dataEnd, HasSums: hasSums}
 	prevOff := int64(0)
 	for i := uint64(0); i < n; i++ {
 		var e IndexEntry
@@ -173,6 +233,11 @@ func ReadBlockIndex(r io.ReaderAt, size int64) (*BlockIndex, error) {
 		}
 		if e.MaxTime, err = p.float(); err != nil {
 			return nil, fmt.Errorf("profiledata: corrupt block index: %w", err)
+		}
+		if hasSums {
+			if e.Sum, err = p.fixed64(); err != nil {
+				return nil, fmt.Errorf("profiledata: corrupt block index: %w", err)
+			}
 		}
 		if e.Offset <= prevOff && i > 0 || e.Offset >= dataEnd || e.Offset <= int64(len(binaryMagic)) {
 			return nil, fmt.Errorf("profiledata: block index entry %d has offset %d outside (%d, %d)", i, e.Offset, prevOff, dataEnd)
@@ -202,6 +267,17 @@ func ReadBlockIndex(r io.ReaderAt, size int64) (*BlockIndex, error) {
 		}
 	}
 	return idx, nil
+}
+
+// fixed64 reads a fixed-width little-endian uint64 (the DRBWIDX2 checksum
+// field — varints would cost more than they save on hash-distributed bits).
+func (p *payloadReader) fixed64() (uint64, error) {
+	if p.pos+8 > len(p.buf) {
+		return 0, errCorrupt
+	}
+	v := binary.LittleEndian.Uint64(p.buf[p.pos:])
+	p.pos += 8
+	return v, nil
 }
 
 // IndexedTrace is a binary v3 recording opened through its block index for
@@ -283,6 +359,10 @@ func (it *IndexedTrace) Blocks() int { return len(it.idx.Entries) }
 // Entry returns the i-th block's index entry.
 func (it *IndexedTrace) Entry(i int) IndexEntry { return it.idx.Entries[i] }
 
+// HasChecksums reports a DRBWIDX2 index: per-block payload checksums are
+// present, range reads verify them, and Fingerprint works from the index.
+func (it *IndexedTrace) HasChecksums() bool { return it.idx.HasSums }
+
 // Close releases the underlying file when the trace was opened from a path.
 func (it *IndexedTrace) Close() error {
 	if it.f != nil {
@@ -318,6 +398,15 @@ func (it *IndexedTrace) RangeReader(from, to int, bufs *Buffers) (*SampleReader,
 		weight: it.weight, format: FormatBinaryV3, bufs: bufs,
 		total: total, avail: end - start,
 		limited: true, blocksLeft: to - from,
+	}
+	if it.idx.HasSums {
+		// Each decoded block is verified against its recorded checksum, so
+		// silent payload corruption surfaces as an error instead of as
+		// structurally-valid garbage samples.
+		sr.sums = make([]uint64, 0, to-from)
+		for i := from; i < to; i++ {
+			sr.sums = append(sr.sums, it.idx.Entries[i].Sum)
+		}
 	}
 	sr.dec = blockDecoder{prevTime: e.PrevTime, prevAddr: e.PrevAddr, prevLat: e.PrevLat, levels: it.levels}
 	sr.body = bufio.NewReaderSize(io.NewSectionReader(it.r, start, end-start), 64<<10)

@@ -47,6 +47,9 @@ type SampleReader struct {
 	// reader stops after blocksLeft blocks instead of at a terminator.
 	limited    bool
 	blocksLeft int
+	// sums, when non-nil, holds the range's per-block payload checksums
+	// (DRBWIDX2 indexes); every block read is verified against its entry.
+	sums []uint64
 
 	// CSV state.
 	cr   *csv.Reader
@@ -214,6 +217,12 @@ func (sr *SampleReader) readBlock() (int, []byte, error) {
 	payload := sr.bufs.payload[:plen]
 	if _, err := io.ReadFull(sr.body, payload); err != nil {
 		return 0, nil, fmt.Errorf("profiledata: reading block payload: %w", corruptEOF(err))
+	}
+	if sr.sums != nil {
+		i := len(sr.sums) - sr.blocksLeft
+		if got := blockChecksum(payload); got != sr.sums[i] {
+			return 0, nil, fmt.Errorf("profiledata: block %d of range fails its index checksum (%#x, index claims %#x): corrupt recording", i, got, sr.sums[i])
+		}
 	}
 	sr.decoded += count
 	if sr.limited {

@@ -152,6 +152,11 @@ type Config struct {
 	// LocalityWeight balances the locality term against channel pressure in
 	// the analytic score. <= 0 uses 0.5.
 	LocalityWeight float64
+	// Baseline, when non-nil, is used as the unmodified case's measurement
+	// instead of simulating it. Callers (the result cache) supply a prior
+	// run's baseline for the identical case and engine config; because runs
+	// are bit-reproducible, the search outcome is identical to remeasuring.
+	Baseline *engine.Result
 }
 
 func (c Config) withDefaults() Config {
@@ -279,10 +284,14 @@ func Run(in Input, ecfg engine.Config, cfg Config) (*Result, error) {
 	sp.SetInt("frontier", int64(frontier))
 	defer sp.End()
 
-	// The shared baseline: measured exactly once, never per candidate.
-	base, err := optimize.MeasureBase(in.Builder, m, in.Cfg, ecfg)
-	if err != nil {
-		return nil, err
+	// The shared baseline: measured exactly once, never per candidate —
+	// or not at all when the caller carries one over from a cached run.
+	base := cfg.Baseline
+	if base == nil {
+		var err error
+		if base, err = optimize.MeasureBase(in.Builder, m, in.Cfg, ecfg); err != nil {
+			return nil, err
+		}
 	}
 	res := &Result{Baseline: base, Report: rep, Pruned: len(outs) - frontier}
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"drbw"
+	"drbw/internal/core"
 	"drbw/internal/obs"
 )
 
@@ -21,6 +22,12 @@ func TestChromeTraceCoversBlockRanges(t *testing.T) {
 	tl := sharedTool(t)
 	td, sPath, oPath := recordTo(t, tl, 91, drbw.FormatBinary)
 	shards, shardObjs := splitTrace(t, td, 3)
+
+	// The test exercises the block fan-out, which a one-worker pool skips
+	// in favor of the serial path; pin two workers so the fan-out runs
+	// even on single-CPU hosts.
+	core.SetPoolWorkers(2)
+	t.Cleanup(func() { core.SetPoolWorkers(0) })
 
 	obs.StartTracing()
 	t.Cleanup(func() { obs.StopTracing() })

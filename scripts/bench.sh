@@ -27,6 +27,10 @@
 #                     value (block-parallel analysis of one indexed
 #                     recording); skipped with a warning on hosts with
 #                     fewer than 4 cores
+#   MIN_CACHE_SPEEDUP when set, fail if a warm result-cache hit on the
+#                     1M-sample analysis (BenchmarkAnalyzeCached cold/warm
+#                     ns ratio) is less than this many times faster than the
+#                     cold compute-and-store run; core-count independent
 #   MIN_OPTIMIZER_SPEEDUP when set, fail if the pruned placement search
 #                     (BenchmarkOptimizerSearch pruned: analytic frontier +
 #                     branch-and-bound cycle budget, parallel waves) is less
@@ -51,7 +55,7 @@ cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_engine.json}
 benchtime=${BENCHTIME:-2s}
-pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace|BenchmarkShardAnalyze|BenchmarkOptimizerSearch)$'
+pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace|BenchmarkAnalyzeCached|BenchmarkShardAnalyze|BenchmarkOptimizerSearch)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -144,6 +148,19 @@ END {
     }
     if (placement != "") {
         printf ", \"placement_speedup\": %s", placement >> out
+    }
+    printf "},\n" >> out
+    # cache: the content-addressed result cache on the 1M-sample analysis.
+    # warm_speedup is the cold (compute + store) over warm (fingerprint +
+    # hit) wall-clock ratio; core-count independent.
+    cc = nsv["BenchmarkAnalyzeCached/cold"]
+    cw = nsv["BenchmarkAnalyzeCached/warm"]
+    printf "  \"cache\": {" >> out
+    sep = ""
+    if (cc != "") { printf "\"cold_ns\": %s", cc >> out; sep = ", " }
+    if (cw != "") { printf "%s\"warm_ns\": %s", sep, cw >> out; sep = ", " }
+    if (cc != "" && cw != "" && cw + 0 > 0) {
+        printf "%s\"warm_speedup\": %.2f", sep, cc / cw >> out
     }
     printf "},\n" >> out
     printf "  \"benchmarks\": {\n" >> out
@@ -256,6 +273,24 @@ if [ -n "${MIN_SHARD_SPEEDUP:-}" ]; then
         fi
         echo "shard gate: shard speedup ${sspeed}x >= ${MIN_SHARD_SPEEDUP}x"
     fi
+fi
+
+if [ -n "${MIN_CACHE_SPEEDUP:-}" ]; then
+    # No core-count skip: a cache hit beats recomputation on any host.
+    cspeed=$(awk '
+    /^BenchmarkAnalyzeCached\/cold/ { for (i = 2; i <= NF; i++) if ($i == "ns/op") c = $(i-1) }
+    /^BenchmarkAnalyzeCached\/warm/ { for (i = 2; i <= NF; i++) if ($i == "ns/op") w = $(i-1) }
+    END { if (c != "" && w != "" && w + 0 > 0) printf "%.2f", c / w }
+    ' "$raw")
+    if [ -z "$cspeed" ]; then
+        echo "cache gate: BenchmarkAnalyzeCached cold/warm not found in output" >&2
+        exit 1
+    fi
+    if awk -v s="$cspeed" -v min="$MIN_CACHE_SPEEDUP" 'BEGIN { exit !(s < min) }'; then
+        echo "cache gate: warm hit ${cspeed}x faster than cold, below minimum ${MIN_CACHE_SPEEDUP}x" >&2
+        exit 1
+    fi
+    echo "cache gate: warm hit ${cspeed}x >= ${MIN_CACHE_SPEEDUP}x faster than cold"
 fi
 
 if [ -n "${MIN_OPTIMIZER_SPEEDUP:-}" ]; then

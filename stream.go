@@ -147,12 +147,32 @@ func (t *Tool) AnalyzeTraceFileRange(samplesPath, objectsPath string, lo, hi flo
 }
 
 func (t *Tool) analyzeTraceFileRange(samplesPath, objectsPath string, tr timeRange) (*Report, error) {
+	if t.cache != nil {
+		if key, err := t.analyzeFileKey(samplesPath, objectsPath, tr); err == nil {
+			return t.cachedReport(key, func() (*Report, error) {
+				return t.analyzeTraceFileRangeUncached(samplesPath, objectsPath, tr)
+			})
+		}
+		// Fingerprinting failed — missing file, unreadable bytes. Fall
+		// through uncached so the analysis itself surfaces the real error.
+	}
+	return t.analyzeTraceFileRangeUncached(samplesPath, objectsPath, tr)
+}
+
+func (t *Tool) analyzeTraceFileRangeUncached(samplesPath, objectsPath string, tr timeRange) (*Report, error) {
 	sp := obs.BeginSpan("analyze.trace_file")
 	sp.SetStr("samples", samplesPath)
 	defer sp.End()
 	objects, err := readObjectsFile(objectsPath)
 	if err != nil {
 		return nil, err
+	}
+	// With one worker the block fan-out buys nothing and still pays for the
+	// index open, chunking and two merge steps; the serial reader is
+	// measurably faster and bit-identical. A time-limited range stays on the
+	// indexed path even then, for the block pruning.
+	if core.PoolWorkers() == 1 && !tr.limited {
+		return t.analyzeTraceFileSerial(samplesPath, objects, &traceScratch{acc: features.NewAccumulator(t.machine)}, tr)
 	}
 	if it, err := profiledata.OpenIndexedTrace(samplesPath); err == nil {
 		defer it.Close()
@@ -192,13 +212,13 @@ func (t *Tool) AnalyzeTraceFiles(paths []TracePaths) ([]*Report, error) {
 		if w >= len(scratch) {
 			// The pool width changed mid-call; fall back to fresh scratch.
 			fresh := &traceScratch{acc: features.NewAccumulator(t.machine)}
-			reports[i], errs[i] = t.analyzeTraceFile(paths[i].Samples, paths[i].Objects, fresh)
+			reports[i], errs[i] = t.analyzeTraceFileBatch(paths[i].Samples, paths[i].Objects, fresh)
 			return
 		}
 		if scratch[w] == nil {
 			scratch[w] = &traceScratch{acc: features.NewAccumulator(t.machine)}
 		}
-		reports[i], errs[i] = t.analyzeTraceFile(paths[i].Samples, paths[i].Objects, scratch[w])
+		reports[i], errs[i] = t.analyzeTraceFileBatch(paths[i].Samples, paths[i].Objects, scratch[w])
 	})
 	sp.End()
 	var be BatchError
@@ -228,6 +248,17 @@ func (t *Tool) analyzeTraceShards(samplePaths []string, objectsPath string) (*Re
 	if len(samplePaths) == 0 {
 		return nil, fmt.Errorf("drbw: no sample shards given")
 	}
+	if t.cache != nil {
+		if key, err := t.shardsKey(samplePaths, objectsPath); err == nil {
+			return t.cachedReport(key, func() (*Report, error) {
+				return t.analyzeTraceShardsUncached(samplePaths, objectsPath)
+			})
+		}
+	}
+	return t.analyzeTraceShardsUncached(samplePaths, objectsPath)
+}
+
+func (t *Tool) analyzeTraceShardsUncached(samplePaths []string, objectsPath string) (*Report, error) {
 	sp := obs.BeginSpan("analyze.shards")
 	sp.SetInt("shards", int64(len(samplePaths)))
 	defer sp.End()
@@ -562,6 +593,21 @@ func (t *Tool) analyzeJobs(jobs []shardJob, weight float64, objects []alloc.Obje
 		}
 	}
 	return t.finishReport(rep, tl, cf)
+}
+
+// analyzeTraceFileBatch is the batch path's per-recording unit: the serial
+// streaming analysis, through the cache when one is attached. The cache's
+// singleflight also dedups a recording listed more than once in a batch —
+// the duplicates decode once and every slot gets the report.
+func (t *Tool) analyzeTraceFileBatch(samplesPath, objectsPath string, sc *traceScratch) (*Report, error) {
+	if t.cache != nil {
+		if key, err := t.analyzeFileKey(samplesPath, objectsPath, fullRange()); err == nil {
+			return t.cachedReport(key, func() (*Report, error) {
+				return t.analyzeTraceFile(samplesPath, objectsPath, sc)
+			})
+		}
+	}
+	return t.analyzeTraceFile(samplesPath, objectsPath, sc)
 }
 
 // analyzeTraceFile is the serial streaming analysis used by the batch path
