@@ -336,8 +336,11 @@ func parseRange(s string) (lo, hi float64, have bool, err error) {
 	if hi, err = strconv.ParseFloat(s[i+1:], 64); err != nil {
 		return 0, 0, false, fmt.Errorf("drbw-analyze: -range upper bound %q: %v", s[i+1:], err)
 	}
-	if !(lo <= hi) {
-		return 0, 0, false, fmt.Errorf("drbw-analyze: -range %q is empty (want lo <= hi)", s)
+	if lo != lo || hi != hi {
+		return 0, 0, false, fmt.Errorf("drbw-analyze: -range %q has a NaN bound, which selects no samples (want numbers with lo <= hi)", s)
+	}
+	if lo > hi {
+		return 0, 0, false, fmt.Errorf("drbw-analyze: -range %q is inverted (want lo <= hi)", s)
 	}
 	return lo, hi, true, nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseRange(t *testing.T) {
+	valid := []struct {
+		in     string
+		lo, hi float64
+	}{
+		{"0:100", 0, 100},
+		{"-5:5", -5, 5},
+		{"7:7", 7, 7},
+		{"1e3:2e3", 1e3, 2e3},
+		{"-Inf:+Inf", math.Inf(-1), math.Inf(1)},
+	}
+	for _, tc := range valid {
+		lo, hi, have, err := parseRange(tc.in)
+		if err != nil || !have || lo != tc.lo || hi != tc.hi {
+			t.Errorf("parseRange(%q) = %v, %v, %v, %v; want %v, %v, true, nil", tc.in, lo, hi, have, err, tc.lo, tc.hi)
+		}
+	}
+
+	if lo, hi, have, err := parseRange(""); err != nil || have || lo != 0 || hi != 0 {
+		t.Errorf("parseRange(\"\") = %v, %v, %v, %v; want no range, no error", lo, hi, have, err)
+	}
+
+	invalid := []struct {
+		in   string
+		want string // substring the error must carry
+	}{
+		{"100", "not lo:hi"},
+		{"abc:5", "lower bound"},
+		{"5:xyz", "upper bound"},
+		{"100:0", "inverted"},
+		{"5:-5", "inverted"},
+		{"NaN:100", "NaN"},
+		{"0:NaN", "NaN"},
+		{"NaN:NaN", "NaN"},
+	}
+	for _, tc := range invalid {
+		_, _, _, err := parseRange(tc.in)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseRange(%q) error = %v, want mention of %q", tc.in, err, tc.want)
+		}
+	}
+}

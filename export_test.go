@@ -17,3 +17,26 @@ func SetTestHookBetweenPasses(f func()) (restore func()) {
 	testHookBetweenPasses = f
 	return func() { testHookBetweenPasses = prev }
 }
+
+// SetForceTwoPass disables the fused single-pass path, routing every
+// analysis through the two-pass pipeline. Tests use it to compare the two
+// paths bit for bit and to exercise the two-pass consistency checks on
+// recordings that would otherwise qualify for the single pass; the
+// benchmark harness uses it as the speedup baseline. It returns a restore
+// function for the previous setting.
+func SetForceTwoPass(v bool) (restore func()) {
+	prev := testHookForceTwoPass
+	testHookForceTwoPass = v
+	return func() { testHookForceTwoPass = prev }
+}
+
+// SetTestHookSinglePassOpened installs a hook that runs after the fused
+// single-pass analysis has opened a recording's index, before any block
+// decodes — the single-pass analogue of SetTestHookBetweenPasses, used to
+// mutate the recording mid-analysis and prove the per-block checksum
+// verification fires. It returns a restore function for the previous hook.
+func SetTestHookSinglePassOpened(f func()) (restore func()) {
+	prev := testHookSinglePassOpened
+	testHookSinglePassOpened = f
+	return func() { testHookSinglePassOpened = prev }
+}

@@ -152,8 +152,9 @@ func ChannelVectors(m *topology.Machine, samples []pebs.Sample, weight float64, 
 
 // Accumulator builds Table I channel vectors incrementally — the streaming
 // form of ChannelVectors. Feed it sample chunks with Add (a block iterator's
-// output, or one whole slice) and finish with Vectors. Counts are exact
-// integers in float64 and latency sums are exact xsum accumulators, so the
+// output, or one whole slice) and finish with Vectors. Counts are int64
+// (converted to float64 exactly at assembly time) and latency sums are
+// exact xsum accumulators, so the
 // result is bit-identical to a single ChannelVectors call over the same
 // sample multiset — chunking, ordering and Merge trees do not matter —
 // while peak memory stays O(nodes²) regardless of trace length. An
@@ -163,17 +164,17 @@ type Accumulator struct {
 	m  *topology.Machine
 	nn int
 	// Per-source-socket aggregates.
-	batch    []float64
+	batch    []int64
 	latSum   []xsum.Sum
-	above    [][5]float64
-	local    []float64
+	above    [][5]int64
+	local    []int64
 	localLat []xsum.Sum
-	lfb      []float64
+	lfb      []int64
 	lfbLat   []xsum.Sum
 	// Per directed channel: remote-DRAM terms and the minSamples gate (the
 	// gate mirrors pebs.Associate, which files MEM/LFB samples under their
 	// src→home channel).
-	remote    []float64
+	remote    []int64
 	remoteLat []xsum.Sum
 	assoc     []int
 }
@@ -184,12 +185,12 @@ func NewAccumulator(m *topology.Machine) *Accumulator {
 	nch := m.NumChannels()
 	return &Accumulator{
 		m: m, nn: nn,
-		batch:  make([]float64, nn),
+		batch:  make([]int64, nn),
 		latSum: make([]xsum.Sum, nn),
-		above:  make([][5]float64, nn),
-		local:  make([]float64, nn), localLat: make([]xsum.Sum, nn),
-		lfb: make([]float64, nn), lfbLat: make([]xsum.Sum, nn),
-		remote: make([]float64, nch), remoteLat: make([]xsum.Sum, nch),
+		above:  make([][5]int64, nn),
+		local:  make([]int64, nn), localLat: make([]xsum.Sum, nn),
+		lfb: make([]int64, nn), lfbLat: make([]xsum.Sum, nn),
+		remote: make([]int64, nch), remoteLat: make([]xsum.Sum, nch),
 		assoc: make([]int, nch),
 	}
 }
@@ -199,7 +200,7 @@ func (a *Accumulator) Reset() {
 	for i := range a.batch {
 		a.batch[i] = 0
 		a.latSum[i].Reset()
-		a.above[i] = [5]float64{}
+		a.above[i] = [5]int64{}
 		a.local[i], a.lfb[i] = 0, 0
 		a.localLat[i].Reset()
 		a.lfbLat[i].Reset()
@@ -240,7 +241,10 @@ func (a *Accumulator) Merge(other *Accumulator) error {
 	return nil
 }
 
-// Add folds a chunk of samples into the running statistics.
+// Add folds a chunk of samples into the running statistics. This loop runs
+// once per sample on the analysis hot path, so it leans on the thresholds
+// descending (walk from the smallest up and stop at the first one the
+// latency does not clear) and dispatches on the level once.
 func (a *Accumulator) Add(samples []pebs.Sample) {
 	nn := a.nn
 	for i := range samples {
@@ -249,39 +253,45 @@ func (a *Accumulator) Add(samples []pebs.Sample) {
 		if src < 0 || src >= nn {
 			continue // cannot belong to any channel's source batch
 		}
+		lat := s.Latency
 		a.batch[src]++
-		a.latSum[src].Add(s.Latency)
-		for i, th := range latencyThresholds {
-			if s.Latency > th {
-				a.above[src][i]++
-			}
+		a.latSum[src].Add(lat)
+		ab := &a.above[src]
+		for j := len(latencyThresholds) - 1; j >= 0 && lat > latencyThresholds[j]; j-- {
+			ab[j]++
 		}
 		home := int(s.HomeNode)
 		homeValid := home >= 0 && home < nn
-		switch {
-		case s.Level == cache.MEM && homeValid && home != src:
-			a.remote[src*nn+home]++
-			a.remoteLat[src*nn+home].Add(s.Latency)
-		case s.Level == cache.MEM && s.HomeNode == s.SrcNode:
-			a.local[src]++
-			a.localLat[src].Add(s.Latency)
-		case s.Level == cache.LFB:
+		switch s.Level {
+		case cache.MEM:
+			if homeValid && home != src {
+				ci := src*nn + home
+				a.remote[ci]++
+				a.remoteLat[ci].Add(lat)
+			} else if s.HomeNode == s.SrcNode {
+				a.local[src]++
+				a.localLat[src].Add(lat)
+			}
+			if homeValid {
+				a.assoc[src*nn+home]++
+			}
+		case cache.LFB:
 			a.lfb[src]++
-			a.lfbLat[src].Add(s.Latency)
-		}
-		if (s.Level == cache.MEM || s.Level == cache.LFB) && homeValid {
-			a.assoc[src*nn+home]++
+			a.lfbLat[src].Add(lat)
+			if homeValid {
+				a.assoc[src*nn+home]++
+			}
 		}
 	}
 }
 
 // SampleCount reports how many samples have landed in any socket's batch.
 func (a *Accumulator) SampleCount() float64 {
-	n := 0.0
+	var n int64
 	for _, b := range a.batch {
 		n += b
 	}
-	return n
+	return float64(n)
 }
 
 // Vectors assembles the per-channel Table I vectors from the running sums.
@@ -304,22 +314,23 @@ func (a *Accumulator) Vectors(weight float64, minSamples int) map[topology.Chann
 			out[ch] = v
 			continue
 		}
+		batch := float64(a.batch[src])
 		for i := 0; i < 5; i++ {
-			v[i] = a.above[src][i] / a.batch[src]
+			v[i] = float64(a.above[src][i]) / batch
 		}
-		v[5] = a.remote[ci] * weight
+		v[5] = float64(a.remote[ci]) * weight
 		if a.remote[ci] > 0 {
-			v[6] = a.remoteLat[ci].Value() / a.remote[ci]
+			v[6] = a.remoteLat[ci].Value() / float64(a.remote[ci])
 		}
-		v[7] = a.local[src] * weight
+		v[7] = float64(a.local[src]) * weight
 		if a.local[src] > 0 {
-			v[8] = a.localLat[src].Value() / a.local[src]
+			v[8] = a.localLat[src].Value() / float64(a.local[src])
 		}
-		v[9] = a.batch[src] * weight
-		v[10] = a.latSum[src].Value() / a.batch[src]
-		v[11] = a.lfb[src] * weight
+		v[9] = batch * weight
+		v[10] = a.latSum[src].Value() / batch
+		v[11] = float64(a.lfb[src]) * weight
 		if a.lfb[src] > 0 {
-			v[12] = a.lfbLat[src].Value() / a.lfb[src]
+			v[12] = a.lfbLat[src].Value() / float64(a.lfb[src])
 		}
 		out[ch] = v
 	}

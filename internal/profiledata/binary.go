@@ -417,6 +417,88 @@ func (p *payloadReader) uvarint() (uint64, error) {
 	return v, nil
 }
 
+// uvarints decodes len(dst) varints in one batched loop. The buffer and
+// position live in locals for the whole column, and while a full worst-case
+// varint fits in the remaining bytes the decode runs entirely inline — one
+// load and compare per byte, no per-value function call or slice
+// re-derivation. The tail (and truncated input) goes through binary.Uvarint,
+// and the inline loop reports overflow for exactly the encodings
+// binary.Uvarint rejects, so batched and scalar decodes accept the same
+// byte strings.
+func (p *payloadReader) uvarints(dst []uint64) error {
+	buf, pos := p.buf, p.pos
+	i := 0
+	for i < len(dst) && pos+binary.MaxVarintLen64 <= len(buf) {
+		b := buf[pos]
+		pos++
+		if b < 0x80 {
+			dst[i] = uint64(b)
+			i++
+			continue
+		}
+		v := uint64(b & 0x7f)
+		s := uint(7)
+		for {
+			b = buf[pos]
+			pos++
+			if b < 0x80 {
+				if s == 63 && b > 1 {
+					return errCorrupt // overflows uint64, as binary.Uvarint reports
+				}
+				v |= uint64(b) << s
+				break
+			}
+			v |= uint64(b&0x7f) << s
+			s += 7
+			if s >= 64 {
+				return errCorrupt // more than MaxVarintLen64 bytes
+			}
+		}
+		dst[i] = v
+		i++
+	}
+	for ; i < len(dst); i++ {
+		if pos < len(buf) && buf[pos] < 0x80 {
+			dst[i] = uint64(buf[pos])
+			pos++
+			continue
+		}
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return errCorrupt
+		}
+		dst[i] = v
+		pos += n
+	}
+	p.pos = pos
+	return nil
+}
+
+// fixed64s reads len(dst) fixed-width little-endian uint64s (a raw float
+// column) with one bounds check for the whole run.
+func (p *payloadReader) fixed64s(dst []uint64) error {
+	n := len(dst)
+	if p.pos+8*n > len(p.buf) {
+		return errCorrupt
+	}
+	buf := p.buf[p.pos:]
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(buf[8*i:])
+	}
+	p.pos += 8 * n
+	return nil
+}
+
+// bytes returns the next n payload bytes without copying.
+func (p *payloadReader) bytes(n int) ([]byte, error) {
+	if p.pos+n > len(p.buf) {
+		return nil, errCorrupt
+	}
+	b := p.buf[p.pos : p.pos+n]
+	p.pos += n
+	return b, nil
+}
+
 func (p *payloadReader) byte() (byte, error) {
 	if p.pos >= len(p.buf) {
 		return 0, errCorrupt
@@ -436,8 +518,17 @@ func (p *payloadReader) float() (float64, error) {
 }
 
 // decode fills out (already sized to the block's sample count) from one
-// payload.
-func (d *blockDecoder) decode(payload []byte, out []pebs.Sample) error {
+// payload. Each column is decoded as a whole run — varints batched into the
+// caller's reusable scratch, then converted in a second tight loop — so the
+// per-sample cost is a couple of cache-resident array passes instead of
+// nine bounds-checked method calls.
+func (d *blockDecoder) decode(payload []byte, out []pebs.Sample, scratch *[]uint64) error {
+	n := len(out)
+	if cap(*scratch) < n {
+		*scratch = make([]uint64, n)
+	}
+	col := (*scratch)[:n]
+	out = out[:len(col)] // teach the bounds prover: every out[i] below is in range
 	p := payloadReader{buf: payload}
 
 	tag, err := p.byte()
@@ -446,57 +537,56 @@ func (d *blockDecoder) decode(payload []byte, out []pebs.Sample) error {
 	}
 	switch tag {
 	case encDelta:
+		if err := p.uvarints(col); err != nil {
+			return err
+		}
 		prev := d.prevTime
-		for i := range out {
-			u, err := p.uvarint()
-			if err != nil {
-				return err
-			}
+		for i, u := range col {
 			prev += unzigzag(u)
 			out[i].Time = float64(prev)
 		}
 		d.prevTime = prev
 	case encRaw:
-		for i := range out {
-			if out[i].Time, err = p.float(); err != nil {
-				return err
-			}
+		if err := p.fixed64s(col); err != nil {
+			return err
+		}
+		for i, u := range col {
+			out[i].Time = math.Float64frombits(u)
 		}
 	default:
 		return errCorrupt
 	}
 
-	for i := range out {
-		u, err := p.uvarint()
-		if err != nil {
-			return err
-		}
+	if err := p.uvarints(col); err != nil {
+		return err
+	}
+	for i, u := range col {
 		out[i].CPU = topology.CPUID(unzigzag(u))
 	}
-	for i := range out {
-		u, err := p.uvarint()
-		if err != nil {
-			return err
-		}
+	if err := p.uvarints(col); err != nil {
+		return err
+	}
+	for i, u := range col {
 		out[i].Thread = int(unzigzag(u))
 	}
+	if err := p.uvarints(col); err != nil {
+		return err
+	}
 	prevAddr := d.prevAddr
-	for i := range out {
-		u, err := p.uvarint()
-		if err != nil {
-			return err
-		}
+	for i, u := range col {
 		prevAddr += uint64(unzigzag(u))
 		out[i].Addr = prevAddr
 	}
 	d.prevAddr = prevAddr
-	for i := range out {
-		b, err := p.byte()
-		if err != nil {
-			return err
-		}
-		if int(b) >= len(d.levels) {
-			return fmt.Errorf("profiledata: level index %d outside the %d-entry dictionary", b, len(d.levels))
+
+	lvls, err := p.bytes(n)
+	if err != nil {
+		return err
+	}
+	nlv := len(d.levels)
+	for i, b := range lvls {
+		if int(b) >= nlv {
+			return fmt.Errorf("profiledata: level index %d outside the %d-entry dictionary", b, nlv)
 		}
 		out[i].Level = d.levels[b]
 	}
@@ -506,47 +596,44 @@ func (d *blockDecoder) decode(payload []byte, out []pebs.Sample) error {
 	}
 	switch tag {
 	case encDelta:
+		if err := p.uvarints(col); err != nil {
+			return err
+		}
 		prev := d.prevLat
-		for i := range out {
-			u, err := p.uvarint()
-			if err != nil {
-				return err
-			}
+		for i, u := range col {
 			prev += unzigzag(u)
 			out[i].Latency = float64(prev) / 10
 		}
 		d.prevLat = prev
 	case encRaw:
-		for i := range out {
-			if out[i].Latency, err = p.float(); err != nil {
-				return err
-			}
+		if err := p.fixed64s(col); err != nil {
+			return err
+		}
+		for i, u := range col {
+			out[i].Latency = math.Float64frombits(u)
 		}
 	default:
 		return errCorrupt
 	}
 
+	bits, err := p.bytes((n + 7) / 8)
+	if err != nil {
+		return err
+	}
 	for i := range out {
-		if i&7 == 0 {
-			if _, err = p.byte(); err != nil {
-				return err
-			}
-		}
-		out[i].Write = p.buf[p.pos-1]&(1<<(uint(i)&7)) != 0
+		out[i].Write = bits[i>>3]&(1<<(uint(i)&7)) != 0
 	}
 
-	for i := range out {
-		u, err := p.uvarint()
-		if err != nil {
-			return err
-		}
+	if err := p.uvarints(col); err != nil {
+		return err
+	}
+	for i, u := range col {
 		out[i].SrcNode = topology.NodeID(unzigzag(u))
 	}
-	for i := range out {
-		u, err := p.uvarint()
-		if err != nil {
-			return err
-		}
+	if err := p.uvarints(col); err != nil {
+		return err
+	}
+	for i, u := range col {
 		out[i].HomeNode = topology.NodeID(unzigzag(u))
 	}
 	if p.pos != len(p.buf) {

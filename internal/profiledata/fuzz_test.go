@@ -66,6 +66,28 @@ func FuzzReadSamples(f *testing.F) {
 			flipped[off] ^= 1
 			f.Add(flipped)
 		}
+		// Lying-footer seeds: structurally valid DRBWIDX2 footers whose
+		// MinTime/MaxTime claims disagree with the decoded samples. The
+		// entry times are not covered by the block checksums, so these open
+		// cleanly here; the single-pass analysis upstream must catch the
+		// disagreement, and nothing at this layer may panic.
+		forge := func(mutate func([]IndexEntry)) {
+			entries := append([]IndexEntry(nil), idx.Entries...)
+			mutate(entries)
+			var forged bytes.Buffer
+			forged.Write(data[:idx.DataEnd+1])
+			if err := WriteBlockIndex(&forged, entries); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(forged.Bytes())
+		}
+		forge(func(entries []IndexEntry) { entries[0].MinTime += 1 })
+		forge(func(entries []IndexEntry) { entries[len(entries)-1].MaxTime += 1e9 })
+		forge(func(entries []IndexEntry) {
+			for i := range entries {
+				entries[i].MinTime, entries[i].MaxTime = 0, 1
+			}
+		})
 	}
 	f.Add([]byte(binaryMagic))
 	f.Add([]byte("time,cpu\n1,2\n"))

@@ -50,6 +50,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"sync"
 
 	"drbw/internal/cache"
 )
@@ -120,6 +122,23 @@ func blockChecksum(payload []byte) uint64 {
 // writeBlockIndex appends the checksummed (DRBWIDX2) index footer.
 func writeBlockIndex(w *bufio.Writer, entries []IndexEntry) error {
 	return writeBlockIndexVersioned(w, entries, true)
+}
+
+// WriteBlockIndex appends a checksummed (DRBWIDX2) block index footer to w
+// — the writing half of ReadBlockIndex, for tools and tests that rebuild or
+// rewrite footers on an existing body. WriteSamplesBinary emits the same
+// footer for every indexed recording it writes; entries it did not compute
+// itself are the caller's responsibility to keep truthful (the single-pass
+// analysis cross-checks them against the decoded samples).
+func WriteBlockIndex(w io.Writer, entries []IndexEntry) error {
+	bw := bufio.NewWriter(w)
+	if err := writeBlockIndex(bw, entries); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("profiledata: writing block index: %w", err)
+	}
+	return nil
 }
 
 // writeBlockIndexVersioned writes either footer version. The DRBWIDX1 form
@@ -291,6 +310,11 @@ type IndexedTrace struct {
 	total  uint64
 	levels []cache.Level
 	idx    *BlockIndex
+
+	// mu guards ras, the prefetchers handed out to range readers; Close
+	// stops any a consumer abandoned mid-range.
+	mu  sync.Mutex
+	ras []*prefetcher
 }
 
 // NewIndexedTrace opens an indexed recording over an io.ReaderAt of the
@@ -363,8 +387,38 @@ func (it *IndexedTrace) Entry(i int) IndexEntry { return it.idx.Entries[i] }
 // present, range reads verify them, and Fingerprint works from the index.
 func (it *IndexedTrace) HasChecksums() bool { return it.idx.HasSums }
 
-// Close releases the underlying file when the trace was opened from a path.
+// TimeBounds returns the recording's global sample time range as recorded
+// by the block index, in O(blocks) — no sample ever decodes. ok is false
+// for an empty recording. The range is the index's claim; the single-pass
+// analysis verifies it against the decoded samples.
+func (it *IndexedTrace) TimeBounds() (minT, maxT float64, ok bool) {
+	entries := it.idx.Entries
+	if len(entries) == 0 {
+		return 0, 0, false
+	}
+	minT, maxT = entries[0].MinTime, entries[0].MaxTime
+	for i := 1; i < len(entries); i++ {
+		e := &entries[i]
+		if e.MinTime < minT {
+			minT = e.MinTime
+		}
+		if e.MaxTime > maxT {
+			maxT = e.MaxTime
+		}
+	}
+	return minT, maxT, true
+}
+
+// Close stops any read-ahead still running for this trace's range readers
+// and releases the underlying file when the trace was opened from a path.
 func (it *IndexedTrace) Close() error {
+	it.mu.Lock()
+	ras := it.ras
+	it.ras = nil
+	it.mu.Unlock()
+	for _, p := range ras {
+		p.Stop()
+	}
 	if it.f != nil {
 		return it.f.Close()
 	}
@@ -409,6 +463,19 @@ func (it *IndexedTrace) RangeReader(from, to int, bufs *Buffers) (*SampleReader,
 		}
 	}
 	sr.dec = blockDecoder{prevTime: e.PrevTime, prevAddr: e.PrevAddr, prevLat: e.PrevLat, levels: it.levels}
-	sr.body = bufio.NewReaderSize(io.NewSectionReader(it.r, start, end-start), 64<<10)
+	if size := end - start; size >= prefetchMinBytes && runtime.GOMAXPROCS(0) > 1 {
+		// Large ranges read ahead on a background goroutine so block N+1's
+		// bytes arrive while block N decodes — when a spare CPU exists to
+		// run it; on one CPU the goroutine only adds a copy and scheduling
+		// to the decode loop. The reader stops it at EOF or on error; Close
+		// sweeps any abandoned mid-range.
+		sr.ra = newPrefetcher(it.r, start, size)
+		it.mu.Lock()
+		it.ras = append(it.ras, sr.ra)
+		it.mu.Unlock()
+		sr.body = bufio.NewReaderSize(sr.ra, 64<<10)
+	} else {
+		sr.body = bufio.NewReaderSize(io.NewSectionReader(it.r, start, end-start), 64<<10)
+	}
 	return sr, nil
 }

@@ -278,3 +278,23 @@ func (t *Table) Object(id alloc.ObjectID) alloc.Object { return t.byID[id] }
 
 // Len returns the number of ranges.
 func (t *Table) Len() int { return len(t.objects) }
+
+// LookupSlot resolves addr to the dense slot of its containing range.
+// Slots number the table's ranges in base order, 0..Len()-1, so an
+// accumulator can count per-slot into a flat array instead of per-ID into
+// a map; SlotID recovers the object behind a slot. The map-free form of
+// Lookup for hot attribution loops.
+func (t *Table) LookupSlot(addr uint64) (int, bool) {
+	idx := sort.Search(len(t.objects), func(i int) bool { return t.objects[i].Base > addr })
+	if idx == 0 {
+		return 0, false
+	}
+	o := &t.objects[idx-1]
+	if addr >= o.Base+o.Size {
+		return 0, false
+	}
+	return idx - 1, true
+}
+
+// SlotID returns the ID of the object occupying a slot LookupSlot returned.
+func (t *Table) SlotID(slot int) alloc.ObjectID { return t.objects[slot].ID }

@@ -1,0 +1,133 @@
+package profiledata
+
+// Read-ahead for indexed range reads.
+//
+// A range reader's consumer alternates between pulling bytes off the file
+// and decoding them, so the disk (or page cache) sits idle while a block
+// decodes. The prefetcher moves the reading onto a background goroutine
+// that stays one or two chunks ahead: block N+1's bytes are already in
+// memory by the time block N finishes decoding. Chunks come from a shared
+// pool, so steady-state prefetching allocates nothing.
+//
+// Lifecycle is the hazardous part — an abandoned goroutine would pin its
+// file handle and buffers forever. Two backstops close every path: the
+// SampleReader stops its prefetcher on every terminal Next (EOF or error),
+// and the owning IndexedTrace records every prefetcher it hands out and
+// stops the stragglers in Close (covering readers abandoned mid-range when
+// an analysis callback fails).
+
+import (
+	"io"
+	"sync"
+)
+
+// prefetchChunkSize is the bytes fetched per background read: large enough
+// to amortize the ReadAt and channel handoff over many blocks, small enough
+// that two in-flight chunks stay cache-friendly.
+const prefetchChunkSize = 512 << 10
+
+// prefetchMinBytes is the smallest range worth a background goroutine;
+// shorter ranges read synchronously through a section reader.
+const prefetchMinBytes = 1 << 20
+
+// prefetchPool recycles chunk buffers across prefetchers.
+var prefetchPool = sync.Pool{New: func() any {
+	b := make([]byte, prefetchChunkSize)
+	return &b
+}}
+
+// prefetchMsg is one fetched chunk: n valid bytes in *buf, and the read
+// error, if any, to surface after those bytes are consumed.
+type prefetchMsg struct {
+	buf *[]byte
+	n   int
+	err error
+}
+
+// prefetcher streams a fixed file section through a two-chunk channel,
+// reading ahead of its consumer. It implements io.Reader for the consumer
+// side; reads return the section's bytes in order, then io.EOF.
+type prefetcher struct {
+	chunks   chan prefetchMsg
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	cur    []byte  // unread tail of the chunk being consumed
+	curBuf *[]byte // backing buffer, pooled again once drained
+	err    error   // terminal state, served after buffered bytes
+}
+
+// newPrefetcher starts a background reader over r's bytes [off, off+n).
+func newPrefetcher(r io.ReaderAt, off, n int64) *prefetcher {
+	p := &prefetcher{chunks: make(chan prefetchMsg, 2), stop: make(chan struct{})}
+	go func() {
+		defer close(p.chunks)
+		for n > 0 {
+			buf := prefetchPool.Get().(*[]byte)
+			sz := int64(len(*buf))
+			if sz > n {
+				sz = n
+			}
+			m, err := r.ReadAt((*buf)[:sz], off)
+			off += int64(m)
+			n -= int64(m)
+			if err == nil && int64(m) < sz {
+				err = io.ErrUnexpectedEOF
+			}
+			select {
+			case p.chunks <- prefetchMsg{buf: buf, n: m, err: err}:
+			case <-p.stop:
+				prefetchPool.Put(buf)
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Read implements io.Reader over the prefetched section.
+func (p *prefetcher) Read(b []byte) (int, error) {
+	for len(p.cur) == 0 {
+		if p.curBuf != nil {
+			prefetchPool.Put(p.curBuf)
+			p.curBuf = nil
+		}
+		if p.err != nil {
+			return 0, p.err
+		}
+		c, ok := <-p.chunks
+		if !ok {
+			p.err = io.EOF
+			return 0, io.EOF
+		}
+		p.curBuf = c.buf
+		p.cur = (*c.buf)[:c.n]
+		if c.err != nil {
+			// Serve the bytes that did arrive first; the error follows.
+			p.err = c.err
+		}
+	}
+	m := copy(b, p.cur)
+	p.cur = p.cur[m:]
+	return m, nil
+}
+
+// Stop terminates the background reader and returns every buffered chunk to
+// the pool. Idempotent; must not race a concurrent Read (the consumer stops
+// its own prefetcher, and IndexedTrace.Close runs after its readers).
+func (p *prefetcher) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	for c := range p.chunks {
+		prefetchPool.Put(c.buf)
+	}
+	if p.curBuf != nil {
+		prefetchPool.Put(p.curBuf)
+		p.curBuf, p.cur = nil, nil
+	}
+	if p.err == nil {
+		p.err = io.EOF
+	}
+}

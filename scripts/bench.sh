@@ -37,6 +37,12 @@
 #                     than this many times faster than the serial exhaustive
 #                     search; skipped with a warning on hosts with fewer
 #                     than 4 cores, where the parallel waves degenerate
+#   MIN_SINGLEPASS_SPEEDUP when set, fail if the fused single-pass analysis
+#                     of the 1M-sample indexed recording is less than this
+#                     many times faster than the retained two-pass path
+#                     (BenchmarkAnalyzeSinglePass twopass/singlepass ns
+#                     ratio; both variants run in one process, so the ratio
+#                     is core-count independent and never skipped)
 #   LEDGER_OUT        when set, also run a quick drbw-bench pass with
 #                     -ledger here, stamping the bench host with a
 #                     machine-readable drbw.ledger/1 audit record (config
@@ -46,16 +52,19 @@
 # The benchmarks tracked here cover the simulation hot path end to end plus
 # the offline trace pipeline: a full contended engine run, the batch
 # evaluation sweep built on it, the raw cache-hierarchy access loop, trace
-# generation, the CSV-vs-binary trace decode pair, and the slice-vs-stream
-# analysis of a 1M-sample recording. The committed BENCH_engine.json records
-# the trajectory; the "baseline" block holds the pre-fast-path numbers the
-# 2x acceptance bar is measured against.
+# generation, the CSV-vs-binary trace decode pair, the slice-vs-stream
+# analysis of a 1M-sample recording, and the fused single-pass vs two-pass
+# analysis pair. The committed BENCH_engine.json records the trajectory;
+# the "baseline" block holds the pre-fast-path numbers the 2x acceptance
+# bar is measured against. Every speedup block carries the host's core
+# count and a "gated" flag saying whether its gate enforces on that host
+# (core-dependent ratios degenerate below 4 cores and are skipped there).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_engine.json}
 benchtime=${BENCHTIME:-2s}
-pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace|BenchmarkAnalyzeCached|BenchmarkShardAnalyze|BenchmarkOptimizerSearch)$'
+pattern='^(BenchmarkEngineContendedRun|BenchmarkBatchEvaluation|BenchmarkCacheHierarchyAccess|BenchmarkStreamGeneration|BenchmarkTraceDecode|BenchmarkAnalyzeTrace|BenchmarkAnalyzeSinglePass|BenchmarkAnalyzeCached|BenchmarkShardAnalyze|BenchmarkOptimizerSearch)$'
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -88,6 +97,11 @@ END {
     printf "    \"BenchmarkCacheHierarchyAccess\": {\"ns_per_op\": 108.3},\n" >> out
     printf "    \"BenchmarkStreamGeneration\": {\"ns_per_op\": 2.423}\n" >> out
     printf "  },\n" >> out
+    # Every speedup block records the core count it was measured on and a
+    # "gated" flag: true when the matching MIN_* gate enforces on this
+    # host, false when the ratio is core-dependent and the host has too
+    # few cores for the gate to be meaningful (the gate skips there).
+    coregated = (cores >= 4) ? "true" : "false"
     # parallel_speedup: serial/parallel wall-clock ratios. batch is the
     # cross-run pool (BenchmarkBatchEvaluation), window is one run sharded
     # across workers (BenchmarkEngineContendedRun workers=1 vs workers=max),
@@ -99,34 +113,33 @@ END {
     wm = nsv["BenchmarkEngineContendedRun/workers=max"]
     ss = nsv["BenchmarkShardAnalyze/serial"]
     sp = nsv["BenchmarkShardAnalyze/parallel"]
-    printf "  \"parallel_speedup\": {" >> out
-    sep = ""
+    printf "  \"parallel_speedup\": {\"cores\": %d, \"gated\": %s", cores, coregated >> out
     if (bs != "" && bp != "" && bp + 0 > 0) {
-        printf "\"batch\": %.2f", bs / bp >> out; sep = ", "
+        printf ", \"batch\": %.2f", bs / bp >> out
     }
     if (w1 != "" && wm != "" && wm + 0 > 0) {
-        printf "%s\"window\": %.2f", sep, w1 / wm >> out; sep = ", "
+        printf ", \"window\": %.2f", w1 / wm >> out
     }
     if (ss != "" && sp != "" && sp + 0 > 0) {
-        printf "%s\"shard\": %.2f", sep, ss / sp >> out
+        printf ", \"shard\": %.2f", ss / sp >> out
     }
     printf "},\n" >> out
     # trace_codec: binary-vs-CSV decode speedup and file-size ratio on the
     # 1M-sample bench trace, plus the slice-vs-stream analysis ratio.
+    # Core-count independent, so the gate always enforces.
     dc = nsv["BenchmarkTraceDecode/csv"]
     db = nsv["BenchmarkTraceDecode/binary"]
     as = nsv["BenchmarkAnalyzeTrace/slice"]
     at = nsv["BenchmarkAnalyzeTrace/stream"]
-    printf "  \"trace_codec\": {" >> out
-    sep = ""
+    printf "  \"trace_codec\": {\"cores\": %d, \"gated\": true", cores >> out
     if (dc != "" && db != "" && db + 0 > 0) {
-        printf "\"decode_speedup\": %.2f", dc / db >> out; sep = ", "
+        printf ", \"decode_speedup\": %.2f", dc / db >> out
     }
     if (sizeratio != "") {
-        printf "%s\"csv_size_ratio\": %s", sep, sizeratio >> out; sep = ", "
+        printf ", \"csv_size_ratio\": %s", sizeratio >> out
     }
     if (as != "" && at != "" && at + 0 > 0) {
-        printf "%s\"stream_vs_slice\": %.2f", sep, as / at >> out
+        printf ", \"stream_vs_slice\": %.2f", as / at >> out
     }
     printf "},\n" >> out
     # optimizer: the closed-loop placement search. pruned_speedup is the
@@ -139,7 +152,7 @@ END {
     os = nsv["BenchmarkOptimizerSearch/serial"]
     op = nsv["BenchmarkOptimizerSearch/parallel"]
     og = nsv["BenchmarkOptimizerSearch/pruned"]
-    printf "  \"optimizer\": {\"cores\": %d", cores >> out
+    printf "  \"optimizer\": {\"cores\": %d, \"gated\": %s", cores, coregated >> out
     if (os != "" && og != "" && og + 0 > 0) {
         printf ", \"pruned_speedup\": %.2f", os / og >> out
     }
@@ -152,15 +165,27 @@ END {
     printf "},\n" >> out
     # cache: the content-addressed result cache on the 1M-sample analysis.
     # warm_speedup is the cold (compute + store) over warm (fingerprint +
-    # hit) wall-clock ratio; core-count independent.
+    # hit) wall-clock ratio; core-count independent, so always gated.
     cc = nsv["BenchmarkAnalyzeCached/cold"]
     cw = nsv["BenchmarkAnalyzeCached/warm"]
-    printf "  \"cache\": {" >> out
-    sep = ""
-    if (cc != "") { printf "\"cold_ns\": %s", cc >> out; sep = ", " }
-    if (cw != "") { printf "%s\"warm_ns\": %s", sep, cw >> out; sep = ", " }
+    printf "  \"cache\": {\"cores\": %d, \"gated\": true", cores >> out
+    if (cc != "") { printf ", \"cold_ns\": %s", cc >> out }
+    if (cw != "") { printf ", \"warm_ns\": %s", cw >> out }
     if (cc != "" && cw != "" && cw + 0 > 0) {
-        printf "%s\"warm_speedup\": %.2f", sep, cc / cw >> out
+        printf ", \"warm_speedup\": %.2f", cc / cw >> out
+    }
+    printf "},\n" >> out
+    # singlepass: the fused single-pass analysis of the indexed 1M-sample
+    # recording against the retained two-pass path. Both variants run in
+    # one process, so the ratio is core-count independent and always
+    # gated; the reports are bit-identical.
+    f1 = nsv["BenchmarkAnalyzeSinglePass/singlepass"]
+    f2 = nsv["BenchmarkAnalyzeSinglePass/twopass"]
+    printf "  \"singlepass\": {\"cores\": %d, \"gated\": true", cores >> out
+    if (f1 != "") { printf ", \"singlepass_ns\": %s", f1 >> out }
+    if (f2 != "") { printf ", \"twopass_ns\": %s", f2 >> out }
+    if (f1 != "" && f2 != "" && f1 + 0 > 0) {
+        printf ", \"speedup\": %.2f", f2 / f1 >> out
     }
     printf "},\n" >> out
     printf "  \"benchmarks\": {\n" >> out
@@ -291,6 +316,25 @@ if [ -n "${MIN_CACHE_SPEEDUP:-}" ]; then
         exit 1
     fi
     echo "cache gate: warm hit ${cspeed}x >= ${MIN_CACHE_SPEEDUP}x faster than cold"
+fi
+
+if [ -n "${MIN_SINGLEPASS_SPEEDUP:-}" ]; then
+    # No core-count skip: both variants run in the same process on the same
+    # host, so the ratio is meaningful on any core count.
+    fspeed=$(awk '
+    /^BenchmarkAnalyzeSinglePass\/singlepass/ { for (i = 2; i <= NF; i++) if ($i == "ns/op") f = $(i-1) }
+    /^BenchmarkAnalyzeSinglePass\/twopass/    { for (i = 2; i <= NF; i++) if ($i == "ns/op") t = $(i-1) }
+    END { if (f != "" && t != "" && f + 0 > 0) printf "%.2f", t / f }
+    ' "$raw")
+    if [ -z "$fspeed" ]; then
+        echo "singlepass gate: BenchmarkAnalyzeSinglePass singlepass/twopass not found in output" >&2
+        exit 1
+    fi
+    if awk -v s="$fspeed" -v min="$MIN_SINGLEPASS_SPEEDUP" 'BEGIN { exit !(s < min) }'; then
+        echo "singlepass gate: fused analysis ${fspeed}x faster than two-pass, below minimum ${MIN_SINGLEPASS_SPEEDUP}x" >&2
+        exit 1
+    fi
+    echo "singlepass gate: fused analysis ${fspeed}x >= ${MIN_SINGLEPASS_SPEEDUP}x faster than two-pass"
 fi
 
 if [ -n "${MIN_OPTIMIZER_SPEEDUP:-}" ]; then

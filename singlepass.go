@@ -1,0 +1,370 @@
+package drbw
+
+// Fused single-pass streaming analysis.
+//
+// The two-pass pipeline exists because two pieces of global state are only
+// known after reading the whole trace: the time range (timeline bucket
+// geometry) and the contended channels (which CF to attribute). A
+// checksummed indexed recording removes both obstacles without touching a
+// sample: the DRBWIDX2 footer yields the global time range and total count
+// in O(index bytes), so the timeline pre-bounds its geometry, and the
+// dense CF accumulator counts attribution for every channel as samples
+// stream, restricting to the contended set after classification. Features,
+// timeline, and CF all accumulate in one decode sweep — half the decode
+// work of the two-pass path.
+//
+// Trust moves accordingly. The two-pass path catches a recording swapped
+// mid-analysis by comparing raw counts between its passes; a single pass
+// has no second read to compare against, so it leans on the DRBWIDX2
+// per-block checksums instead — every decoded block is verified against
+// the checksum recorded at encode time — plus an index-honesty check: the
+// decoded sample count and observed time range must agree exactly with
+// what the footer claimed, or the analysis fails loudly rather than
+// silently mis-bucketing the timeline. Recordings without a checksummed
+// index (CSV, compressed, DRBWIDX1, foreign) keep the two-pass path and
+// its raw-count consistency check.
+
+import (
+	"fmt"
+	"math"
+
+	"drbw/internal/alloc"
+	"drbw/internal/core"
+	"drbw/internal/diagnose"
+	"drbw/internal/features"
+	"drbw/internal/obs"
+	"drbw/internal/pebs"
+	"drbw/internal/profiledata"
+)
+
+// testHookForceTwoPass, when set, disables the fused single-pass path so
+// tests and benchmarks can drive the two-pass path on recordings that
+// would otherwise qualify, and compare the two bit for bit.
+var testHookForceTwoPass bool
+
+// testHookSinglePassOpened, when non-nil, runs after the single-pass path
+// has opened the recording's index and before any block decodes. Tests use
+// it to mutate the recording mid-analysis and prove the per-block checksum
+// verification fires.
+var testHookSinglePassOpened func()
+
+// analyzeSinglePassFile tries the fused single-pass analysis on one
+// recording. ok is false when the recording does not qualify — no index,
+// no per-block checksums, or an objects table that does not form valid
+// ranges (the two-pass path builds the table only after detection, so a
+// bad table must not change when its error surfaces) — and the caller
+// falls back to the two-pass path. A non-nil sc forces the serial sweep
+// (the batch path parallelizes across recordings, not within them).
+func (t *Tool) analyzeSinglePassFile(samplesPath string, objects []alloc.Object, sc *traceScratch, sp obs.SpanHandle) (*Report, bool, error) {
+	if testHookForceTwoPass {
+		return nil, false, nil
+	}
+	table, err := profiledata.NewTable(objects)
+	if err != nil {
+		return nil, false, nil
+	}
+	it, err := profiledata.OpenIndexedTrace(samplesPath)
+	if err != nil {
+		return nil, false, nil
+	}
+	if !it.HasChecksums() {
+		it.Close()
+		return nil, false, nil
+	}
+	defer it.Close()
+	if testHookSinglePassOpened != nil {
+		testHookSinglePassOpened()
+	}
+	total := it.TotalSamples()
+	minT, maxT, okRange := it.TimeBounds()
+	if total == 0 || !okRange {
+		return nil, true, errNoSamples(fullRange(), 0)
+	}
+	if sc != nil || core.PoolWorkers() == 1 {
+		rep, err := t.analyzeSinglePassSerial(it, table, sc, minT, maxT, total)
+		return rep, true, err
+	}
+	jobs := blockRangeJobs(it, core.PoolWorkers())
+	rep, err := t.analyzeSinglePassJobs(jobs, table, it.Weight(), total, minT, maxT, "analyze.blocks", sp)
+	return rep, true, err
+}
+
+// analyzeSinglePassSerial is the one-worker fused sweep: features,
+// timeline, and dense CF accumulate block by block off a single range
+// reader over the whole recording.
+func (t *Tool) analyzeSinglePassSerial(it *profiledata.IndexedTrace, table *profiledata.Table, sc *traceScratch, minT, maxT float64, total int) (*Report, error) {
+	if sc == nil {
+		sc = &traceScratch{acc: features.NewAccumulator(t.machine)}
+	}
+	sc.acc.Reset()
+	weight := it.Weight()
+	tl := diagnose.NewTimelineAccumulator(timelineBuckets, weight)
+	tl.ObserveRange(minT, maxT, total)
+	nodes := t.machine.Nodes()
+	dcf := diagnose.NewDenseCF(table, nodes, weight)
+	sr, err := it.RangeReader(0, it.Blocks(), &sc.bufs)
+	if err != nil {
+		return nil, err
+	}
+	var kept, oob int64
+	obsMin, obsMax := math.Inf(1), math.Inf(-1)
+	err = drainReader(sr, func(block []pebs.Sample) error {
+		kept += int64(len(block))
+		for i := range block {
+			s := &block[i]
+			if s.SrcNode < 0 || int(s.SrcNode) >= nodes ||
+				s.HomeNode < 0 || int(s.HomeNode) >= nodes {
+				return fmt.Errorf("drbw: sample references node outside the %d-node machine", nodes)
+			}
+			if s.Time >= minT && s.Time <= maxT {
+				if s.Time < obsMin {
+					obsMin = s.Time
+				}
+				if s.Time > obsMax {
+					obsMax = s.Time
+				}
+			} else {
+				oob++
+			}
+		}
+		sc.acc.Add(block)
+		tl.Add(block)
+		dcf.Add(block)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := checkIndexAgrees(minT, maxT, total, kept, oob, obsMin, obsMax); err != nil {
+		return nil, err
+	}
+	rep := &Report{Samples: kept}
+	contended := t.classify(sc.acc, weight, rep)
+	var cf *diagnose.CFAccumulator
+	if rep.Detected {
+		cf = dcf.Restrict(contended)
+	}
+	return t.finishReport(rep, tl, cf)
+}
+
+// blockRangeJobs splits one indexed recording's full block range into ~4
+// chunks per worker, the same rebalancing granularity the two-pass indexed
+// path uses.
+func blockRangeJobs(it *profiledata.IndexedTrace, workers int) []shardJob {
+	blocksPerChunk := it.Blocks() / (workers * 4)
+	if blocksPerChunk < 1 {
+		blocksPerChunk = 1
+	}
+	var jobs []shardJob
+	for from := 0; from < it.Blocks(); from += blocksPerChunk {
+		to := from + blocksPerChunk
+		if to > it.Blocks() {
+			to = it.Blocks()
+		}
+		from, to := from, to
+		jobs = append(jobs, shardJob{
+			name: "blocks",
+			from: from,
+			to:   to,
+			run: func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error {
+				sr, err := it.RangeReader(from, to, bufs)
+				if err != nil {
+					return err
+				}
+				return drainReader(sr, emit)
+			},
+		})
+	}
+	return jobs
+}
+
+// analyzeSinglePassJobs is the fused counterpart of analyzeJobs: every job
+// streams exactly once, each worker accumulating features, pre-bounded
+// timeline buckets, and dense CF together. Per-worker accumulators merge
+// in worker order with integer counts and exact sums, so the merged report
+// is bit-identical to the serial fused sweep — and, through the
+// index-honesty check, to the two-pass analysis — at any worker count.
+func (t *Tool) analyzeSinglePassJobs(jobs []shardJob, table *profiledata.Table, weight float64, total int, minT, maxT float64, label string, parent obs.SpanHandle) (*Report, error) {
+	tl := diagnose.NewTimelineAccumulator(timelineBuckets, weight)
+	tl.ObserveRange(minT, maxT, total)
+	nodes := t.machine.Nodes()
+	ss := &shardStates{make: func() *shardState {
+		return &shardState{
+			acc:    features.NewAccumulator(t.machine),
+			tlf:    tl.Fork(),
+			dcf:    diagnose.NewDenseCF(table, nodes, weight),
+			obsMin: math.Inf(1),
+			obsMax: math.Inf(-1),
+		}
+	}}
+	errs := make([]error, len(jobs))
+	core.ParallelForLabeledSpans(len(jobs), label, parent, func(i, w int, cs obs.SpanHandle) {
+		jobs[i].annotate(cs, 1)
+		st := ss.get(w)
+		errs[i] = jobs[i].run(&st.bufs, func(block []pebs.Sample) error {
+			st.kept += int64(len(block))
+			for j := range block {
+				s := &block[j]
+				if s.SrcNode < 0 || int(s.SrcNode) >= nodes ||
+					s.HomeNode < 0 || int(s.HomeNode) >= nodes {
+					return fmt.Errorf("drbw: sample references node outside the %d-node machine", nodes)
+				}
+				if s.Time >= minT && s.Time <= maxT {
+					if s.Time < st.obsMin {
+						st.obsMin = s.Time
+					}
+					if s.Time > st.obsMax {
+						st.obsMax = s.Time
+					}
+				} else {
+					st.oob++
+				}
+			}
+			st.acc.Add(block)
+			st.tlf.Add(block)
+			st.dcf.Add(block)
+			return nil
+		})
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	acc := features.NewAccumulator(t.machine)
+	dcf := diagnose.NewDenseCF(table, nodes, weight)
+	var kept, oob int64
+	obsMin, obsMax := math.Inf(1), math.Inf(-1)
+	for _, st := range ss.states {
+		if st == nil {
+			continue
+		}
+		if err := acc.Merge(st.acc); err != nil {
+			return nil, err
+		}
+		if err := tl.Merge(st.tlf); err != nil {
+			return nil, err
+		}
+		if err := dcf.Merge(st.dcf); err != nil {
+			return nil, err
+		}
+		kept += st.kept
+		oob += st.oob
+		if st.obsMin < obsMin {
+			obsMin = st.obsMin
+		}
+		if st.obsMax > obsMax {
+			obsMax = st.obsMax
+		}
+	}
+	if err := checkIndexAgrees(minT, maxT, total, kept, oob, obsMin, obsMax); err != nil {
+		return nil, err
+	}
+	rep := &Report{Samples: kept}
+	contended := t.classify(acc, weight, rep)
+	var cf *diagnose.CFAccumulator
+	if rep.Detected {
+		cf = dcf.Restrict(contended)
+	}
+	return t.finishReport(rep, tl, cf)
+}
+
+// analyzeShardsSinglePass tries the fused single-pass analysis across one
+// logical recording's shards. Every shard must carry a checksummed index;
+// otherwise ok is false and the caller falls back to the two-pass shard
+// path. The global time range and total count come from the union of the
+// shard indexes, so the merged report is bit-identical to analyzing the
+// concatenation of the shards.
+func (t *Tool) analyzeShardsSinglePass(samplePaths []string, objects []alloc.Object, sp obs.SpanHandle) (*Report, bool, error) {
+	if testHookForceTwoPass {
+		return nil, false, nil
+	}
+	table, err := profiledata.NewTable(objects)
+	if err != nil {
+		return nil, false, nil
+	}
+	its := make([]*profiledata.IndexedTrace, 0, len(samplePaths))
+	defer func() {
+		for _, it := range its {
+			it.Close()
+		}
+	}()
+	for _, path := range samplePaths {
+		it, err := profiledata.OpenIndexedTrace(path)
+		if err != nil {
+			return nil, false, nil
+		}
+		its = append(its, it)
+		if !it.HasChecksums() {
+			return nil, false, nil
+		}
+	}
+	if testHookSinglePassOpened != nil {
+		testHookSinglePassOpened()
+	}
+	weight := its[0].Weight()
+	total, blocks := 0, 0
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for i, it := range its {
+		if it.Weight() != weight {
+			return nil, true, fmt.Errorf("drbw: shard %s has weight %v, the first shard has %v", samplePaths[i], it.Weight(), weight)
+		}
+		total += it.TotalSamples()
+		blocks += it.Blocks()
+		if lo, hi, ok := it.TimeBounds(); ok {
+			if lo < minT {
+				minT = lo
+			}
+			if hi > maxT {
+				maxT = hi
+			}
+		}
+	}
+	if total == 0 {
+		return nil, true, errNoSamples(fullRange(), 0)
+	}
+	// One global chunk size across all shards so small shards do not
+	// degenerate into per-shard serial jobs.
+	blocksPerChunk := blocks / (core.PoolWorkers() * 4)
+	if blocksPerChunk < 1 {
+		blocksPerChunk = 1
+	}
+	var jobs []shardJob
+	for si, it := range its {
+		it := it
+		for from := 0; from < it.Blocks(); from += blocksPerChunk {
+			to := from + blocksPerChunk
+			if to > it.Blocks() {
+				to = it.Blocks()
+			}
+			from, to := from, to
+			jobs = append(jobs, shardJob{
+				name: samplePaths[si],
+				from: from,
+				to:   to,
+				run: func(bufs *profiledata.Buffers, emit func([]pebs.Sample) error) error {
+					sr, err := it.RangeReader(from, to, bufs)
+					if err != nil {
+						return err
+					}
+					return drainReader(sr, emit)
+				},
+			})
+		}
+	}
+	rep, err := t.analyzeSinglePassJobs(jobs, table, weight, total, minT, maxT, "analyze.shards", sp)
+	return rep, true, err
+}
+
+// checkIndexAgrees is the single-pass honesty check: the decoded samples
+// must match the block index's claims exactly — same count, same global
+// time range, nothing outside it. The block checksums guarantee the
+// payload bytes are the ones the encoder summed; this closes the remaining
+// gap, a footer whose counts or times (which no checksum covers) disagree
+// with the blocks they describe. A NaN sample time compares false against
+// both bounds and lands in oob, so it can never silently skew bucketing.
+func checkIndexAgrees(minT, maxT float64, total int, kept, oob int64, obsMin, obsMax float64) error {
+	if oob == 0 && kept == int64(total) && obsMin == minT && obsMax == maxT {
+		return nil
+	}
+	return fmt.Errorf("drbw: index disagrees with recording (index claims %d samples in [%v, %v]; decoded %d samples in [%v, %v], %d outside the claimed range)",
+		total, minT, maxT, kept, obsMin, obsMax, oob)
+}

@@ -1,0 +1,325 @@
+package drbw_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"drbw"
+	"drbw/internal/core"
+	"drbw/internal/pebs"
+	"drbw/internal/profiledata"
+)
+
+// countSinglePass installs the single-pass hook as a counter, returning the
+// counter and a cleanup the test must defer.
+func countSinglePass() (*int, func()) {
+	n := new(int)
+	restore := drbw.SetTestHookSinglePassOpened(func() { *n++ })
+	return n, restore
+}
+
+// TestSinglePassMatchesTwoPassMatrix is the fused-pass equivalence matrix:
+// for every recording variant and worker count, the report must be
+// bit-identical to both the slice path and the forced two-pass path — and
+// the fused pass must actually engage exactly on the checksummed indexed
+// variants, falling back everywhere else.
+func TestSinglePassMatchesTwoPassMatrix(t *testing.T) {
+	tl := sharedTool(t)
+	// Record to CSV first so every variant holds identical grid-quantized
+	// samples and the slice-path report carries no Record-only metadata.
+	_, csvPath, oPath := recordTo(t, tl, 73, drbw.FormatCSV)
+	td, err := drbw.LoadTrace(csvPath, oPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	indexed := filepath.Join(dir, "samples.bin")
+	if err := td.SaveAs(indexed, filepath.Join(dir, "o.csv"), drbw.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	reblocked := reblock(t, indexed, 64)
+	// Flate-compressed recordings carry no index; they must fall back.
+	samples, weight, err := readSamplesFile(t, indexed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed := filepath.Join(dir, "samples.z.bin")
+	cf, err := os.Create(compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profiledata.WriteSamplesBinary(cf, samples, weight, profiledata.BinaryOptions{Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := tl.AnalyzeTrace(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		path       string
+		singlePass bool
+	}{
+		{"indexed", indexed, true},
+		{"reblocked", reblocked, true},
+		{"compressed", compressed, false},
+		{"csv", csvPath, false},
+	}
+	defer core.SetPoolWorkers(0)
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		core.SetPoolWorkers(workers)
+		for _, tc := range cases {
+			fused, restoreHook := countSinglePass()
+			got, err := tl.AnalyzeTraceFile(tc.path, oPath)
+			restoreHook()
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, tc.name, err)
+			}
+			if tc.singlePass != (*fused > 0) {
+				t.Fatalf("workers=%d %s: single pass ran %d times, want engaged=%v", workers, tc.name, *fused, tc.singlePass)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d %s: report differs from the slice path\n got %+v\nwant %+v", workers, tc.name, got, want)
+			}
+			restore := drbw.SetForceTwoPass(true)
+			twoPass, err := tl.AnalyzeTraceFile(tc.path, oPath)
+			restore()
+			if err != nil {
+				t.Fatalf("workers=%d %s two-pass: %v", workers, tc.name, err)
+			}
+			if !reflect.DeepEqual(got, twoPass) {
+				t.Fatalf("workers=%d %s: single-pass report differs from two-pass\n got %+v\nwant %+v", workers, tc.name, got, twoPass)
+			}
+		}
+
+		// A time-windowed range keeps the two-pass path (the kept samples'
+		// exact time range is not knowable from block bounds) and still
+		// matches the forced two-pass report.
+		lo, hi := timeWindow(td)
+		fused, restoreHook := countSinglePass()
+		got, err := tl.AnalyzeTraceFileRange(indexed, oPath, lo, hi)
+		restoreHook()
+		if err != nil {
+			t.Fatalf("workers=%d range: %v", workers, err)
+		}
+		if *fused != 0 {
+			t.Fatalf("workers=%d range: single pass engaged on a time-windowed analysis", workers)
+		}
+		restore := drbw.SetForceTwoPass(true)
+		twoPass, err := tl.AnalyzeTraceFileRange(indexed, oPath, lo, hi)
+		restore()
+		if err != nil {
+			t.Fatalf("workers=%d range two-pass: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, twoPass) {
+			t.Fatalf("workers=%d range: report differs from two-pass", workers)
+		}
+	}
+}
+
+// timeWindow picks a [lo, hi] window spanning the middle half of td's
+// samples.
+func timeWindow(td *drbw.TraceData) (lo, hi float64) {
+	minT, maxT := td.Samples[0].Time, td.Samples[0].Time
+	for _, s := range td.Samples {
+		if s.Time < minT {
+			minT = s.Time
+		}
+		if s.Time > maxT {
+			maxT = s.Time
+		}
+	}
+	span := maxT - minT
+	return minT + span/4, maxT - span/4
+}
+
+// readSamplesFile loads a recording's samples and weight.
+func readSamplesFile(t *testing.T, path string) ([]pebs.Sample, float64, error) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	return profiledata.ReadSamples(f)
+}
+
+// TestSinglePassShardsMatchWhole: the fused shard path engages when every
+// shard carries a checksummed index, and its merged report is bit-identical
+// to the whole-trace slice analysis and to the two-pass shard path.
+func TestSinglePassShardsMatchWhole(t *testing.T) {
+	tl := sharedTool(t)
+	_, sPath, objPath := recordTo(t, tl, 74, drbw.FormatBinary)
+	td, err := drbw.LoadTrace(sPath, objPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tl.AnalyzeTrace(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, oPath := splitTrace(t, td, 3)
+
+	defer core.SetPoolWorkers(0)
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		core.SetPoolWorkers(workers)
+		fused, restoreHook := countSinglePass()
+		got, err := tl.AnalyzeTraceShards(shards, oPath)
+		restoreHook()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if *fused == 0 {
+			t.Fatalf("workers=%d: single pass did not engage on indexed shards", workers)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: sharded report differs from the slice path\n got %+v\nwant %+v", workers, got, want)
+		}
+		restore := drbw.SetForceTwoPass(true)
+		twoPass, err := tl.AnalyzeTraceShards(shards, oPath)
+		restore()
+		if err != nil {
+			t.Fatalf("workers=%d two-pass: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, twoPass) {
+			t.Fatalf("workers=%d: single-pass shard report differs from two-pass", workers)
+		}
+	}
+}
+
+// TestSinglePassRecordingMutatedDuringAnalysis proves the fused pass's
+// consistency check: with no second read to compare raw counts against,
+// corruption that lands after the index was read must be caught by the
+// per-block checksums.
+func TestSinglePassRecordingMutatedDuringAnalysis(t *testing.T) {
+	tl := sharedTool(t)
+	_, sPath, oPath := recordTo(t, tl, 75, drbw.FormatBinary)
+
+	data, err := os.ReadFile(sPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := profiledata.ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle of the first block — well past
+	// its two header uvarints, well before the next block — once the
+	// analysis has already read and validated the footer.
+	end := idx.DataEnd
+	if len(idx.Entries) > 1 {
+		end = idx.Entries[1].Offset
+	}
+	mid := (idx.Entries[0].Offset + end) / 2
+	restore := drbw.SetTestHookSinglePassOpened(func() {
+		mutated := append([]byte(nil), data...)
+		mutated[mid] ^= 0x40
+		if err := os.WriteFile(sPath, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_, err = tl.AnalyzeTraceFile(sPath, oPath)
+	restore()
+	if err == nil || !strings.Contains(err.Error(), "index checksum") {
+		t.Fatalf("error = %v, want per-block checksum failure", err)
+	}
+
+	// Restored, the recording analyzes cleanly again.
+	if err := os.WriteFile(sPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.AnalyzeTraceFile(sPath, oPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// forgeFooterTimes rewrites path's index footer with modified entry times.
+// The entry times live in the footer, which no block checksum covers — so a
+// forged footer passes every checksum and must be caught by the single-pass
+// index-honesty check instead.
+func forgeFooterTimes(t *testing.T, path string, mutate func(entries []profiledata.IndexEntry)) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := profiledata.ReadBlockIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(idx.Entries)
+	out := filepath.Join(t.TempDir(), "forged.bin")
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Body plus its zero-count terminator at DataEnd, then the new footer.
+	if _, err := f.Write(data[:idx.DataEnd+1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := profiledata.WriteBlockIndex(f, idx.Entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSinglePassRejectsLyingIndexFooter: a footer whose time claims
+// disagree with the decoded samples — narrower, so real samples fall
+// outside the claimed range, or wider, so the observed range never reaches
+// the claim — must fail loudly, never panic or silently mis-bucket the
+// timeline.
+func TestSinglePassRejectsLyingIndexFooter(t *testing.T) {
+	tl := sharedTool(t)
+	_, sPath, oPath := recordTo(t, tl, 76, drbw.FormatBinary)
+
+	forged := map[string]string{
+		"narrower": forgeFooterTimes(t, sPath, func(entries []profiledata.IndexEntry) {
+			// Claim the recording starts later than it does: the samples at
+			// the true global minimum land outside the claimed range.
+			g := entries[0].MinTime
+			for _, e := range entries {
+				if e.MinTime < g {
+					g = e.MinTime
+				}
+			}
+			for i := range entries {
+				if entries[i].MinTime == g {
+					entries[i].MinTime = g + 1
+				}
+			}
+		}),
+		"wider": forgeFooterTimes(t, sPath, func(entries []profiledata.IndexEntry) {
+			// Claim more trailing span than any sample occupies: the
+			// observed range never reaches the claim.
+			entries[len(entries)-1].MaxTime += 1e6
+		}),
+	}
+	defer core.SetPoolWorkers(0)
+	for _, workers := range []int{1, 2} {
+		core.SetPoolWorkers(workers)
+		for name, path := range forged {
+			fused, restoreHook := countSinglePass()
+			_, err := tl.AnalyzeTraceFile(path, oPath)
+			restoreHook()
+			if *fused == 0 {
+				t.Fatalf("workers=%d %s: single pass did not engage on the forged recording", workers, name)
+			}
+			if err == nil || !strings.Contains(err.Error(), "index disagrees with recording") {
+				t.Fatalf("workers=%d %s: error = %v, want index-disagrees", workers, name, err)
+			}
+		}
+	}
+}

@@ -167,6 +167,17 @@ func (t *Tool) analyzeTraceFileRangeUncached(samplesPath, objectsPath string, tr
 	if err != nil {
 		return nil, err
 	}
+	// Checksummed indexed recordings take the fused single pass: the index
+	// footer supplies the time range and total upfront, so features,
+	// timeline, and CF accumulate in one decode sweep. A time-limited range
+	// keeps the two-pass path — the filtered samples' exact time range is
+	// not knowable from block-level bounds, and the timeline geometry must
+	// come from the samples actually kept.
+	if !tr.limited {
+		if rep, ok, err := t.analyzeSinglePassFile(samplesPath, objects, nil, sp); ok {
+			return rep, err
+		}
+	}
 	// With one worker the block fan-out buys nothing and still pays for the
 	// index open, chunking and two merge steps; the serial reader is
 	// measurably faster and bit-identical. A time-limited range stays on the
@@ -265,6 +276,11 @@ func (t *Tool) analyzeTraceShardsUncached(samplePaths []string, objectsPath stri
 	objects, err := readObjectsFile(objectsPath)
 	if err != nil {
 		return nil, err
+	}
+	// When every shard carries a checksummed index, the whole logical
+	// recording fuses to one decode sweep per shard.
+	if rep, ok, err := t.analyzeShardsSinglePass(samplePaths, objects, sp); ok {
+		return rep, err
 	}
 	// The timeline and the merge checks need the weight before the fan-out;
 	// take it from the first shard and hold every other shard to it.
@@ -413,16 +429,23 @@ func drainReader(sr *profiledata.SampleReader, emit func([]pebs.Sample) error) e
 	}
 }
 
-// shardState is one worker's mergeable accumulator set. Pass one fills
-// bufs/acc/tl/raw; pass two reuses bufs and fills tlf/cf/raw.
+// shardState is one worker's mergeable accumulator set. The two-pass path
+// fills bufs/acc/tl/raw in pass one and reuses bufs for tlf/cf/raw in pass
+// two; the fused single-pass path fills bufs/acc/tlf/dcf and the
+// index-honesty fields in its only pass.
 type shardState struct {
 	bufs profiledata.Buffers
 	acc  *features.Accumulator
 	tl   *diagnose.TimelineAccumulator
 	tlf  *diagnose.TimelineAccumulator
 	cf   *diagnose.CFAccumulator
-	raw  int64 // samples streamed, before time filtering
-	kept int64 // samples analyzed, after time filtering
+	dcf  *diagnose.DenseCF // single-pass: all-channels CF attribution
+	raw  int64             // samples streamed, before time filtering
+	kept int64             // samples analyzed, after time filtering
+	oob  int64             // single-pass: samples outside the index's claimed time range
+	// obsMin and obsMax track the observed time range of in-range samples,
+	// cross-checked against the index's claim after the merge.
+	obsMin, obsMax float64
 }
 
 // shardStates hands out per-worker state under a lock, growing the slice
@@ -616,6 +639,12 @@ func (t *Tool) analyzeTraceFile(samplesPath, objectsPath string, sc *traceScratc
 	objects, err := readObjectsFile(objectsPath)
 	if err != nil {
 		return nil, err
+	}
+	// A checksummed indexed recording fuses to one decode sweep even here;
+	// passing sc keeps the sweep serial (the batch is the parallelism) and
+	// reuses this worker's scratch.
+	if rep, ok, err := t.analyzeSinglePassFile(samplesPath, objects, sc, obs.SpanHandle{}); ok {
+		return rep, err
 	}
 	return t.analyzeTraceFileSerial(samplesPath, objects, sc, fullRange())
 }
